@@ -1,0 +1,69 @@
+// Command ccs is the external control client of paper §2.2: it signals a
+// running Charm application (launched with cmd/charmrun) to shrink, expand,
+// or report status over the Converse Client-Server protocol.
+//
+// Usage:
+//
+//	ccs -addr 127.0.0.1:7777 shrink 4
+//	ccs -addr 127.0.0.1:7777 expand 8
+//	ccs -addr 127.0.0.1:7777 query
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"elastichpc/internal/ccs"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7777", "CCS server address")
+		timeout = flag.Duration("timeout", 5*time.Minute, "request timeout (rescales block until done)")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	c, err := ccs.Dial(*addr, *timeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	switch args[0] {
+	case "shrink", "expand":
+		if len(args) != 2 {
+			log.Fatalf("usage: ccs %s <newPEs>", args[0])
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil {
+			log.Fatalf("bad PE count %q", args[1])
+		}
+		if args[0] == "shrink" {
+			err = c.Shrink(n)
+		} else {
+			err = c.Expand(n, nil)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s to %d PEs acknowledged\n", args[0], n)
+	case "query":
+		st, err := c.Query()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("PEs=%d iteration=%d/%d done=%.1f%% rescales=%d\n",
+			st.NumPEs, st.Iteration, st.TotalIters, 100*st.DoneFraction, st.RescaleEvents)
+	default:
+		log.Fatalf("unknown command %q (want shrink, expand, or query)", args[0])
+	}
+}

@@ -1,0 +1,105 @@
+// Command elasticsim runs the discrete-event scheduling simulator of paper
+// §4.3.1 and prints the series behind Figures 7 and 8 and the Simulation
+// columns of Table 1.
+//
+// Usage:
+//
+//	elasticsim -sweep gap               # Figure 7: submission-gap sweep
+//	elasticsim -sweep rescale           # Figure 8: rescale-gap sweep
+//	elasticsim -table1                  # Table 1, Simulation columns
+//	elasticsim -seeds 100 -jobs 16      # paper-scale averaging
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"elastichpc/internal/core"
+	"elastichpc/internal/sim"
+	"elastichpc/internal/trace"
+)
+
+func main() {
+	var (
+		sweep    = flag.String("sweep", "", `sweep to run: "gap" (Fig. 7) or "rescale" (Fig. 8)`)
+		table1   = flag.Bool("table1", false, "run the Table 1 simulation")
+		jobs     = flag.Int("jobs", 16, "jobs per workload")
+		seeds    = flag.Int("seeds", 100, "random workloads to average over")
+		workload = flag.String("workload", "", "replay a saved workload JSON under all policies")
+		saveWL   = flag.String("save-workload", "", "write the Table 1 workload to this path and exit")
+	)
+	flag.Parse()
+
+	switch {
+	case *saveWL != "":
+		if err := trace.SaveFile(*saveWL, sim.Table1Workload(), "table 1 workload (seed 7, 90s gap)"); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *saveWL)
+	case *workload != "":
+		w, err := trace.LoadFile(*workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runWorkload(w)
+	case *table1:
+		runTable1()
+	case *sweep == "gap":
+		points, err := sim.SubmissionGapSweep([]float64{0, 30, 60, 90, 120, 150, 180, 210, 240, 270, 300}, *jobs, *seeds, 180)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printSweep("submission_gap", points)
+	case *sweep == "rescale":
+		points, err := sim.RescaleGapSweep([]float64{0, 60, 120, 180, 300, 450, 600, 900, 1200}, *jobs, *seeds, 180)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printSweep("rescale_gap", points)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printSweep(xName string, points []sim.SweepPoint) {
+	fmt.Printf("%s,policy,utilization,total_time_s,weighted_response_s,weighted_completion_s\n", xName)
+	for _, pt := range points {
+		for _, p := range core.AllPolicies() {
+			avg := pt.ByPolicy[p]
+			fmt.Printf("%.0f,%s,%.4f,%.1f,%.2f,%.2f\n",
+				pt.X, p, avg.Utilization, avg.TotalTime, avg.WeightedResponse, avg.WeightedCompletion)
+		}
+	}
+}
+
+func runWorkload(w sim.Workload) {
+	fmt.Printf("Replaying %d-job workload under all policies (T_rescale_gap = 180 s)\n", len(w.Jobs))
+	fmt.Printf("%-14s %12s %12s %16s %18s\n",
+		"Scheduler", "Total (s)", "Utilization", "W. response (s)", "W. completion (s)")
+	for _, p := range core.AllPolicies() {
+		r, err := sim.RunPolicy(p, w, 180)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %12.0f %11.2f%% %16.2f %18.2f\n",
+			p, r.TotalTime, 100*r.Utilization, r.WeightedResponse, r.WeightedCompletion)
+	}
+}
+
+func runTable1() {
+	results, err := sim.Table1Simulation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table 1 (Simulation columns): 16 jobs, 90 s submission gap, T_rescale_gap = 180 s")
+	fmt.Printf("%-14s %12s %12s %16s %18s\n",
+		"Scheduler", "Total (s)", "Utilization", "W. response (s)", "W. completion (s)")
+	for _, p := range core.AllPolicies() {
+		r := results[p]
+		fmt.Printf("%-14s %12.0f %11.2f%% %16.2f %18.2f\n",
+			p, r.TotalTime, 100*r.Utilization, r.WeightedResponse, r.WeightedCompletion)
+	}
+}

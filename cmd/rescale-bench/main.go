@@ -1,0 +1,162 @@
+// Command rescale-bench measures the shrink/expand overhead of the real
+// charm runtime, broken into the paper's four phases (§4.2, Figure 5), plus
+// the Figure 6 iteration timeline around a shrink/expand pair.
+//
+// Grid sizes are scaled down from the paper's (which assume a 64-vCPU
+// cluster and gigabytes of state); pass -scale 1 to attempt paper-size grids.
+//
+// Usage:
+//
+//	rescale-bench -mode shrink    # Fig. 5a: shrink to half, varying replicas
+//	rescale-bench -mode expand    # Fig. 5b: expand to double, varying replicas
+//	rescale-bench -mode size      # Fig. 5c: shrink 32→16, varying grid size
+//	rescale-bench -mode timeline  # Fig. 6: per-iteration times around rescales
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"elastichpc/internal/apps"
+	"elastichpc/internal/charm"
+)
+
+func main() {
+	var (
+		mode  = flag.String("mode", "", "shrink | expand | size | timeline")
+		scale = flag.Int("scale", 8, "divide paper grid sizes by this factor")
+		iters = flag.Int("iters", 30, "iterations to run before rescaling")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "shrink":
+		fmt.Println("# Fig 5a: shrink to half; x = replicas before shrinking")
+		fmt.Println("replicas,lb_s,ckpt_s,restart_s,restore_s,total_s,bytes")
+		for _, p := range []int{4, 8, 16, 32} {
+			runOnce(p, p/2, 8192 / *scale, *iters)
+		}
+	case "expand":
+		fmt.Println("# Fig 5b: expand to double; x = replicas before expanding")
+		fmt.Println("replicas,lb_s,ckpt_s,restart_s,restore_s,total_s,bytes")
+		for _, p := range []int{2, 4, 8, 16} {
+			runOnce(p, p*2, 8192 / *scale, *iters)
+		}
+	case "size":
+		fmt.Println("# Fig 5c: shrink 32->16; x = grid dimension")
+		fmt.Println("grid,lb_s,ckpt_s,restart_s,restore_s,total_s,bytes")
+		for _, n := range []int{512 / *scale * 8, 2048 / *scale * 8, 8192 / *scale * 8} {
+			runOnce(32, 16, n, *iters)
+		}
+	case "timeline":
+		runTimeline(*scale, *iters)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runOnce runs a Jacobi solve on `from` PEs, rescales to `to`, and prints
+// the phase breakdown.
+func runOnce(from, to, grid, iters int) {
+	rt, err := charm.New(charm.Config{PEs: from})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Shutdown()
+	// Overdecompose 4 chares per PE on the larger side of the rescale.
+	side := from
+	if to > side {
+		side = to
+	}
+	bx, by := chareGrid(4 * side)
+	r, err := apps.NewJacobiRunner(rt, grid, bx, by)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r.LBPeriod = iters / 2
+	go func() { <-rt.RequestRescale(to) }()
+	if _, err := r.Run(iters); err != nil {
+		log.Fatal(err)
+	}
+	stats := rt.Stats()
+	if len(stats) == 0 {
+		log.Fatalf("no rescale recorded for %d->%d", from, to)
+	}
+	s := stats[len(stats)-1]
+	x := from
+	if to > from {
+		x = from
+	}
+	fmt.Printf("%d,%.4f,%.4f,%.4f,%.4f,%.4f,%d\n", xOrGrid(x, grid, from, to),
+		s.LoadBalance.Seconds(), s.Checkpoint.Seconds(), s.Restart.Seconds(),
+		s.Restore.Seconds(), s.Total.Seconds(), s.CheckpointBytes)
+}
+
+// xOrGrid picks the x-axis value: replicas for shrink/expand modes, grid for
+// size mode (from == 32 && to == 16 is the size sweep configuration).
+func xOrGrid(replicas, grid, from, to int) int {
+	if from == 32 && to == 16 {
+		return grid
+	}
+	return replicas
+}
+
+// chareGrid factors n into a near-square bx×by decomposition.
+func chareGrid(n int) (int, int) {
+	bx := 1
+	for f := 1; f*f <= n; f++ {
+		if n%f == 0 {
+			bx = f
+		}
+	}
+	return bx, n / bx
+}
+
+// runTimeline reproduces Figure 6: run a Jacobi solve, shrink to half a
+// third of the way in, expand back at two thirds, and print per-iteration
+// timings and the rescale timestamps.
+func runTimeline(scale, iters int) {
+	const from = 8
+	rt, err := charm.New(charm.Config{PEs: from})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Shutdown()
+	grid := 16384 / scale
+	bx, by := chareGrid(4 * from)
+	r, err := apps.NewJacobiRunner(rt, grid, bx, by)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := 3 * iters
+	r.LBPeriod = iters
+
+	go func() { <-rt.RequestRescale(from / 2) }()
+	res1, err := r.Run(2 * iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { <-rt.RequestRescale(from) }()
+	res2, err := r.Run(total - 2*iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("# Fig 6: iteration,pes,iter_time_s,timestamp_s (gaps at rescales)")
+	fmt.Println("iteration,pes,iter_time_s,timestamp_s")
+	base := 0.0
+	offset := 0
+	for _, res := range []apps.RunResult{res1, res2} {
+		for _, it := range res.Iterations {
+			fmt.Printf("%d,%d,%.5f,%.3f\n", offset+it.Iter, it.PEs, it.Elapsed.Seconds(), base+it.Timestamp.Seconds())
+		}
+		for _, ev := range res.Rescales {
+			fmt.Printf("# rescale %d->%d at t=%.3fs overhead=%v\n", ev.FromPEs, ev.ToPEs, base+ev.Timestamp.Seconds(), ev.Stats.Total)
+		}
+		offset += len(res.Iterations)
+		base += res.Total.Seconds()
+	}
+}

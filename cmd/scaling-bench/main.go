@@ -1,0 +1,122 @@
+// Command scaling-bench measures the strong-scaling of the two evaluation
+// applications on the real charm runtime (paper §4.1, Figure 4).
+//
+// Grid sizes are scaled down from the paper's by -scale (the goroutine
+// runtime shares one machine rather than 4 EKS nodes); the scaling *shape* —
+// larger problems scale better — is the reproduction target.
+//
+// Usage:
+//
+//	scaling-bench -app jacobi   # Fig. 4a
+//	scaling-bench -app leanmd   # Fig. 4b
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+
+	"elastichpc/internal/apps"
+	"elastichpc/internal/charm"
+)
+
+func main() {
+	var (
+		app   = flag.String("app", "", "jacobi | leanmd")
+		scale = flag.Int("scale", 8, "divide paper problem sizes by this factor")
+		iters = flag.Int("iters", 20, "iterations to time")
+		maxPE = flag.Int("maxpes", maxReasonablePEs(), "largest replica count to test")
+	)
+	flag.Parse()
+
+	replicas := []int{2, 4, 8, 16, 32, 64}
+	var pes []int
+	for _, p := range replicas {
+		if p <= *maxPE {
+			pes = append(pes, p)
+		}
+	}
+
+	switch *app {
+	case "jacobi":
+		fmt.Println("# Fig 4a: Jacobi2D strong scaling; time per iteration (s)")
+		fmt.Println("grid,replicas,time_per_iter_s")
+		for _, grid := range []int{2048 / *scale, 8192 / *scale, 16384 / *scale} {
+			for _, p := range pes {
+				t := runJacobi(grid, p, *iters)
+				fmt.Printf("%d,%d,%.6f\n", grid, p, t)
+			}
+		}
+	case "leanmd":
+		fmt.Println("# Fig 4b: LeanMD strong scaling; time per step (s)")
+		fmt.Println("cells,replicas,time_per_step_s")
+		for _, cells := range [][3]int{{4, 4, 4}, {4, 4, 8}, {4, 8, 8}} {
+			for _, p := range pes {
+				t := runLeanMD(cells, p, *iters)
+				fmt.Printf("%dx%dx%d,%d,%.6f\n", cells[0], cells[1], cells[2], p, t)
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// maxReasonablePEs caps the sweep at the hardware parallelism: goroutine PEs
+// beyond physical cores stop scaling, which would distort the curve shape.
+func maxReasonablePEs() int {
+	n := runtime.NumCPU()
+	p := 2
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}
+
+func runJacobi(grid, pes, iters int) float64 {
+	rt, err := charm.New(charm.Config{PEs: pes, RestartLatency: charm.ZeroRestartLatency})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Shutdown()
+	bx, by := chareGrid(4 * pes)
+	r, err := apps.NewJacobiRunner(rt, grid, bx, by)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := r.Run(iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.TimePerIteration().Seconds()
+}
+
+func runLeanMD(cells [3]int, pes, iters int) float64 {
+	rt, err := charm.New(charm.Config{PEs: pes, RestartLatency: charm.ZeroRestartLatency})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Shutdown()
+	r, err := apps.NewLeanMDRunner(rt, cells[0], cells[1], cells[2], 48, 2025)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := r.Run(iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.TimePerIteration().Seconds()
+}
+
+// chareGrid factors n into a near-square bx×by decomposition.
+func chareGrid(n int) (int, int) {
+	bx := 1
+	for f := 1; f*f <= n; f++ {
+		if n%f == 0 {
+			bx = f
+		}
+	}
+	return bx, n / bx
+}

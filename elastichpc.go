@@ -1,0 +1,174 @@
+// Package elastichpc is a from-scratch reproduction of "An elastic job
+// scheduler for HPC applications on the cloud" (Bhosale, Chandrasekar, Kale,
+// Kokkila-Schumacher — SC Workshops '25, arXiv:2510.15147).
+//
+// It provides, as one coherent library:
+//
+//   - a Charm++-style message-driven runtime with migratable objects,
+//     measurement-based load balancing, and checkpoint/restart shrink-expand
+//     (internal/charm), controllable over a CCS-style socket protocol
+//     (internal/ccs);
+//   - the paper's two evaluation applications, Jacobi2D and LeanMD, built on
+//     that runtime (internal/apps);
+//   - a Kubernetes substrate (object store with watches, affinity-scoring
+//     pod scheduler, kubelet, controller framework — internal/k8s) and a
+//     Charm operator with the CharmJob CRD and the §3.1 rescale protocol
+//     (internal/operator);
+//   - the priority-based elastic scheduling policy of Figures 2–3 plus the
+//     rigid-min / rigid-max / moldable baselines (internal/core);
+//   - a discrete-event scheduling simulator with calibrated performance
+//     models (internal/sim, internal/model) and a full-stack deterministic
+//     cluster emulation on a virtual clock (internal/cluster).
+//
+// This file is the stable facade: examples and external-style consumers use
+// these re-exports rather than reaching into internal packages directly.
+package elastichpc
+
+import (
+	"time"
+
+	"elastichpc/internal/apps"
+	"elastichpc/internal/ccs"
+	"elastichpc/internal/charm"
+	"elastichpc/internal/cluster"
+	"elastichpc/internal/core"
+	"elastichpc/internal/model"
+	"elastichpc/internal/shm"
+	"elastichpc/internal/sim"
+)
+
+// Scheduling policies (paper §4.3).
+type (
+	// Policy selects a scheduling strategy.
+	Policy = core.Policy
+	// Job is the scheduler's view of a malleable job.
+	Job = core.Job
+	// SchedulerConfig configures the policy scheduler.
+	SchedulerConfig = core.Config
+	// Scheduler implements the Figure 2/3 elastic policy and baselines.
+	Scheduler = core.Scheduler
+	// Actuator is the substrate interface the scheduler drives.
+	Actuator = core.Actuator
+)
+
+// Policy values.
+const (
+	Elastic  = core.Elastic
+	Moldable = core.Moldable
+	RigidMin = core.RigidMin
+	RigidMax = core.RigidMax
+)
+
+// NewScheduler creates a policy scheduler over an abstract cluster.
+func NewScheduler(cfg SchedulerConfig, act Actuator, now func() time.Time) (*Scheduler, error) {
+	return core.NewScheduler(cfg, act, now)
+}
+
+// AllPolicies lists the four policies in the paper's order.
+func AllPolicies() []Policy { return core.AllPolicies() }
+
+// Charm runtime (paper §2.1–2.2).
+type (
+	// Runtime is the Charm++-style message-driven runtime.
+	Runtime = charm.Runtime
+	// RuntimeConfig configures a Runtime.
+	RuntimeConfig = charm.Config
+	// RescaleStats is the per-phase rescale overhead breakdown.
+	RescaleStats = charm.RescaleStats
+	// Chare is a migratable object.
+	Chare = charm.Chare
+	// ShmStore is the in-memory checkpoint store.
+	ShmStore = shm.Store
+)
+
+// NewRuntime creates a charm runtime with the given PE count.
+func NewRuntime(cfg RuntimeConfig) (*Runtime, error) { return charm.New(cfg) }
+
+// NewShmStore creates a checkpoint store with the given byte limit (0 =
+// unlimited).
+func NewShmStore(limit int64) *ShmStore { return shm.NewStore(limit) }
+
+// Applications (paper §4.1).
+type (
+	// AppRunner drives a rescalable application's iteration loop.
+	AppRunner = apps.Runner
+	// RunResult is an application run's timeline and timings.
+	RunResult = apps.RunResult
+)
+
+// NewJacobi2D creates an n×n Jacobi solver decomposed into bx×by chares.
+func NewJacobi2D(rt *Runtime, n, bx, by int) (*AppRunner, error) {
+	return apps.NewJacobiRunner(rt, n, bx, by)
+}
+
+// NewLeanMD creates a kx×ky×kz-cell Lennard-Jones MD mini-app.
+func NewLeanMD(rt *Runtime, kx, ky, kz, atomsPerCell int, seed int64) (*AppRunner, error) {
+	return apps.NewLeanMDRunner(rt, kx, ky, kz, atomsPerCell, seed)
+}
+
+// CCS control protocol (paper §2.2).
+type (
+	// CCSClient signals a running application (shrink/expand/query).
+	CCSClient = ccs.Client
+	// CCSOptions configures a runtime's CCS endpoint.
+	CCSOptions = charm.CCSOptions
+)
+
+// DialCCS connects to an application's CCS endpoint.
+func DialCCS(addr string, timeout time.Duration) (*CCSClient, error) {
+	return ccs.Dial(addr, timeout)
+}
+
+// Performance models and simulation (paper §4.3.1).
+type (
+	// Machine holds the calibrated performance-model constants.
+	Machine = model.Machine
+	// JobClass identifies one of the four job size classes.
+	JobClass = model.Class
+	// Workload is a reproducible job-submission stream.
+	Workload = sim.Workload
+	// SimResult aggregates one simulated (or emulated) experiment.
+	SimResult = sim.Result
+	// SimConfig parameterizes a simulation.
+	SimConfig = sim.Config
+)
+
+// Job size classes.
+const (
+	Small  = model.Small
+	Medium = model.Medium
+	Large  = model.Large
+	XLarge = model.XLarge
+)
+
+// DefaultMachine returns the calibrated c6g.4xlarge-like machine model.
+func DefaultMachine() Machine { return model.DefaultMachine() }
+
+// RandomWorkload draws n jobs across the four classes with priorities 1–5.
+func RandomWorkload(n int, gapSeconds float64, seed int64) Workload {
+	return sim.RandomWorkload(n, gapSeconds, seed)
+}
+
+// Simulate runs a workload under a policy in the discrete-event simulator.
+func Simulate(p Policy, w Workload, rescaleGapSeconds float64) (SimResult, error) {
+	return sim.RunPolicy(p, w, rescaleGapSeconds)
+}
+
+// Cluster emulation (paper §4.3.2).
+type (
+	// ClusterConfig parameterizes the emulated Kubernetes cluster.
+	ClusterConfig = cluster.Config
+	// Cluster is a deterministic full-stack cluster emulation.
+	Cluster = cluster.Cluster
+)
+
+// DefaultClusterConfig matches the paper's 4-node, 64-vCPU EKS cluster.
+func DefaultClusterConfig(p Policy) ClusterConfig { return cluster.DefaultConfig(p) }
+
+// NewCluster builds an emulated cluster with its control plane.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// Emulate runs a workload through the full k8s+operator emulation.
+func Emulate(cfg ClusterConfig, w Workload) (SimResult, error) {
+	return cluster.RunExperiment(cfg, w)
+}

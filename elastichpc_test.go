@@ -1,0 +1,113 @@
+package elastichpc_test
+
+import (
+	"testing"
+	"time"
+
+	"elastichpc"
+)
+
+func TestFacadeRuntimeAndApps(t *testing.T) {
+	rt, err := elastichpc.NewRuntime(elastichpc.RuntimeConfig{PEs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	app, err := elastichpc.NewJacobi2D(rt, 32, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := app.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) != 10 {
+		t.Fatalf("ran %d iterations", len(res.Iterations))
+	}
+
+	md, err := elastichpc.NewLeanMD(rt, 2, 2, 2, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := md.Run(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeCCSRoundTrip(t *testing.T) {
+	rt, err := elastichpc.NewRuntime(elastichpc.RuntimeConfig{PEs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	app, err := elastichpc.NewJacobi2D(rt, 32, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := rt.ServeCCS(elastichpc.CCSOptions{Addr: "127.0.0.1:0", Status: app.Status})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		c, err := elastichpc.DialCCS(h.Addr(), 30*time.Second)
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		done <- c.Shrink(2)
+	}()
+	app.LBPeriod = 5
+	// Keep iterating until the asynchronously-arriving CCS shrink has been
+	// serviced (the request may land after a short run completes).
+	deadline := time.Now().Add(30 * time.Second)
+	for rt.NumPEs() != 2 && time.Now().Before(deadline) {
+		if _, err := app.Run(10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("CCS shrink: %v", err)
+	}
+	if rt.NumPEs() != 2 {
+		t.Fatalf("NumPEs = %d after CCS shrink", rt.NumPEs())
+	}
+}
+
+func TestFacadeSimulateAndEmulate(t *testing.T) {
+	w := elastichpc.RandomWorkload(8, 60, 1)
+	simRes, err := elastichpc.Simulate(elastichpc.Elastic, w, 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(simRes.Jobs) != 8 || simRes.TotalTime <= 0 {
+		t.Fatalf("sim result: %d jobs, total %g", len(simRes.Jobs), simRes.TotalTime)
+	}
+	emuRes, err := elastichpc.Emulate(elastichpc.DefaultClusterConfig(elastichpc.Elastic), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emuRes.Jobs) != 8 || emuRes.TotalTime <= 0 {
+		t.Fatalf("emulation result: %d jobs, total %g", len(emuRes.Jobs), emuRes.TotalTime)
+	}
+}
+
+func TestFacadeSchedulerPolicies(t *testing.T) {
+	if got := len(elastichpc.AllPolicies()); got != 4 {
+		t.Fatalf("AllPolicies = %d", got)
+	}
+	names := map[elastichpc.Policy]string{
+		elastichpc.Elastic:  "elastic",
+		elastichpc.Moldable: "moldable",
+		elastichpc.RigidMin: "min_replicas",
+		elastichpc.RigidMax: "max_replicas",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%v != %s", p, want)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// LeanMD strong-scaling demo: run the Lennard-Jones molecular dynamics
+// mini-app (paper §4.1) at several PE counts and print the time per step —
+// a small-scale Figure 4b.
+//
+//	go run ./examples/leanmd
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elastichpc"
+)
+
+func main() {
+	const (
+		atomsPerCell = 48
+		steps        = 10
+		seed         = 2025
+	)
+	fmt.Println("LeanMD strong scaling (4x4x4 cells, 48 atoms/cell, Lennard-Jones)")
+	fmt.Printf("%6s %14s %10s\n", "PEs", "time/step", "speedup")
+
+	var base float64
+	for _, pes := range []int{1, 2, 4, 8} {
+		rt, err := elastichpc.NewRuntime(elastichpc.RuntimeConfig{PEs: pes})
+		if err != nil {
+			log.Fatal(err)
+		}
+		app, err := elastichpc.NewLeanMD(rt, 4, 4, 4, atomsPerCell, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := app.Run(steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt.Shutdown()
+
+		t := res.TimePerIteration().Seconds()
+		if base == 0 {
+			base = t
+		}
+		fmt.Printf("%6d %12.2fms %9.2fx   (kinetic energy %.3f)\n",
+			pes, t*1e3, base/t, res.FinalValue)
+	}
+	fmt.Println("\nLarger cell grids scale further; compute is O(atoms²) per cell pair,")
+	fmt.Println("so LeanMD is compute-bound and scales well (paper Fig. 4b).")
+}

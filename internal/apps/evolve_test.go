@@ -1,0 +1,86 @@
+package apps
+
+import (
+	"testing"
+
+	"elastichpc/internal/ccs"
+)
+
+// TestEvolvingJobRescalesItself exercises the paper's §6 "evolving jobs"
+// extension: the application rescales from internal criteria without any
+// external CCS trigger.
+func TestEvolvingJobRescalesItself(t *testing.T) {
+	rt := newRT(t, 8)
+	r, err := NewJacobiRunner(rt, 16, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.LBPeriod = 5
+	// Policy: run the first half wide, then shrink to 2 PEs (e.g. the
+	// refined region of a numerical solver contracted).
+	r.Evolve = func(st ccs.StatusReply) int {
+		if st.DoneFraction >= 0.5 {
+			return 2
+		}
+		return st.NumPEs
+	}
+	res, err := r.Run(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.NumPEs() != 2 {
+		t.Fatalf("NumPEs = %d after evolving shrink, want 2", rt.NumPEs())
+	}
+	if len(res.Rescales) != 1 {
+		t.Fatalf("recorded %d rescales, want 1", len(res.Rescales))
+	}
+	if ev := res.Rescales[0]; ev.FromPEs != 8 || ev.ToPEs != 2 {
+		t.Errorf("rescale event %+v", ev)
+	}
+}
+
+// TestEvolvingJobGrows evolves upward and verifies the expand path.
+func TestEvolvingJobGrows(t *testing.T) {
+	rt := newRT(t, 2)
+	r, err := NewJacobiRunner(rt, 16, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.LBPeriod = 5
+	grown := false
+	r.Evolve = func(st ccs.StatusReply) int {
+		if !grown && st.Iteration >= 10 {
+			grown = true
+			return 6
+		}
+		return 0 // no change
+	}
+	if _, err := r.Run(25); err != nil {
+		t.Fatal(err)
+	}
+	if rt.NumPEs() != 6 {
+		t.Fatalf("NumPEs = %d after evolving expand, want 6", rt.NumPEs())
+	}
+}
+
+// TestEvolveNoChangeKeepsAllocation returns the current PE count and
+// verifies nothing rescales.
+func TestEvolveNoChangeKeepsAllocation(t *testing.T) {
+	rt := newRT(t, 4)
+	r, err := NewJacobiRunner(rt, 16, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.LBPeriod = 3
+	r.Evolve = func(st ccs.StatusReply) int { return st.NumPEs }
+	res, err := r.Run(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rescales) != 0 {
+		t.Errorf("evolving no-op rescaled %d times", len(res.Rescales))
+	}
+	if rt.NumPEs() != 4 {
+		t.Errorf("NumPEs = %d", rt.NumPEs())
+	}
+}

@@ -1,0 +1,124 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"elastichpc/internal/charm"
+	"elastichpc/internal/shm"
+)
+
+// TestFaultToleranceCheckpointRestart exercises the paper's §3.2.2 fault
+// tolerance path: checkpoint mid-run, "lose" the runtime, restart a fresh
+// one from the checkpoint, and verify the final answer matches an
+// uninterrupted run exactly.
+func TestFaultToleranceCheckpointRestart(t *testing.T) {
+	const n, half = 16, 15
+
+	// Reference: 2×half iterations without interruption.
+	ref := newRT(t, 4)
+	rref, err := NewJacobiRunner(ref, n, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := rref.Run(2 * half)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shared store survives the "node failure" (in the paper this is disk;
+	// here the store simply outlives the runtime instance).
+	store := shm.NewStore(0)
+
+	rt1, err := charm.New(charm.Config{PEs: 4, Store: store, RestartLatency: charm.ZeroRestartLatency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := NewJacobiRunner(rt1, n, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.Run(half); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.Checkpoint("ft/job1"); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	// Simulate more progress after the checkpoint, then a crash: the
+	// post-checkpoint work is lost.
+	if _, err := r1.Run(7); err != nil {
+		t.Fatal(err)
+	}
+	rt1.Shutdown() // node dies
+
+	// Restart: fresh runtime on the same store, restore, resume.
+	rt2, err := charm.New(charm.Config{PEs: 4, Store: store, RestartLatency: charm.ZeroRestartLatency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt2.Shutdown)
+	r2, err := NewJacobiRunner(rt2, n, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Restore("ft/job1"); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	res, err := r2.Run(half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.FinalValue-refRes.FinalValue) > 1e-15 {
+		t.Errorf("restarted run residual %.17g != uninterrupted %.17g", res.FinalValue, refRes.FinalValue)
+	}
+}
+
+// TestRestoreOnDifferentPECount restores a checkpoint into a runtime with a
+// different PE count — the failure-recovery remap path in restore().
+func TestRestoreOnDifferentPECount(t *testing.T) {
+	const n = 16
+	store := shm.NewStore(0)
+	rt1, err := charm.New(charm.Config{PEs: 8, Store: store, RestartLatency: charm.ZeroRestartLatency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := NewJacobiRunner(rt1, n, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := r1.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.Checkpoint("ft/remap"); err != nil {
+		t.Fatal(err)
+	}
+	rt1.Shutdown()
+
+	// Fewer PEs than the checkpoint was taken on: segments from PEs >= 3
+	// remap onto the smaller incarnation.
+	rt2, err := charm.New(charm.Config{PEs: 3, Store: store, RestartLatency: charm.ZeroRestartLatency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt2.Shutdown)
+	r2, err := NewJacobiRunner(rt2, n, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Restore("ft/remap"); err != nil {
+		t.Fatalf("Restore onto fewer PEs: %v", err)
+	}
+	// The restored state is at iteration 20; continuing must work and the
+	// residual must keep decreasing from the checkpointed value.
+	res, err := r2.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalValue >= refRes.FinalValue {
+		t.Errorf("residual did not decrease after restore: %g -> %g", refRes.FinalValue, res.FinalValue)
+	}
+}

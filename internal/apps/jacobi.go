@@ -1,0 +1,292 @@
+// Package apps implements the paper's two evaluation applications on the
+// charm runtime: Jacobi2D, a communication-intensive 2D steady-state heat
+// solver, and LeanMD, a compute-intensive Lennard-Jones molecular dynamics
+// mini-app (paper §4.1). Both are overdecomposed into chare arrays, are
+// fully Pup-able (hence migratable and rescalable), and drive their
+// iteration loops through reductions so the runtime can rescale at
+// iteration boundaries.
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"elastichpc/internal/charm"
+	"elastichpc/internal/pup"
+)
+
+// Jacobi entry-method indices (must match the RegisterType order).
+const (
+	jacobiEpInit = iota
+	jacobiEpIterate
+	jacobiEpHalo
+)
+
+// Halo tags name the ghost region of the *receiver* that the strip fills.
+const (
+	ghostTop = iota
+	ghostBottom
+	ghostLeft
+	ghostRight
+)
+
+// JacobiTypeName is the registered chare type for Jacobi blocks.
+const JacobiTypeName = "apps.jacobi2d"
+
+// jacobiBlock is one chare: a rectangular block of the global grid plus one
+// ghost cell on each side.
+type jacobiBlock struct {
+	// Geometry (set at init, constant thereafter).
+	N        int // global grid dimension (N×N)
+	BX, BY   int // chare grid dimensions
+	X, Y     int // this block's coordinates in the chare grid
+	W, H     int // interior width/height of this block
+	Boundary float64
+
+	// State.
+	Iter int
+	Cur  []float64 // (W+2)×(H+2) including ghosts
+	Next []float64
+
+	// Transient per-iteration bookkeeping (pup-ed for completeness; empty
+	// at iteration boundaries where rescaling happens).
+	started    bool
+	pendHalos  map[int][]haloMsg // iteration -> received halos
+	haloNeeded int
+}
+
+// haloMsg is one received ghost strip.
+type haloMsg struct {
+	Dir  int
+	Data []float64
+}
+
+// Pup implements charm.Chare.
+func (b *jacobiBlock) Pup(p *pup.PUP) {
+	p.Int(&b.N)
+	p.Int(&b.BX)
+	p.Int(&b.BY)
+	p.Int(&b.X)
+	p.Int(&b.Y)
+	p.Int(&b.W)
+	p.Int(&b.H)
+	p.Float64(&b.Boundary)
+	p.Int(&b.Iter)
+	p.Float64s(&b.Cur)
+	p.Float64s(&b.Next)
+	// Rescales happen at iteration boundaries where transient state is
+	// empty, so it is reconstructed rather than serialized.
+	if p.IsUnpacking() {
+		b.pendHalos = make(map[int][]haloMsg)
+		b.haloNeeded = b.countNeighbors()
+	}
+}
+
+func (b *jacobiBlock) countNeighbors() int {
+	n := 0
+	if b.Y > 0 {
+		n++
+	}
+	if b.Y < b.BY-1 {
+		n++
+	}
+	if b.X > 0 {
+		n++
+	}
+	if b.X < b.BX-1 {
+		n++
+	}
+	return n
+}
+
+func (b *jacobiBlock) idx(i, j int) int { return j*(b.W+2) + i }
+
+// jacobiInitPayload carries the block geometry for jacobiEpInit.
+type jacobiInitPayload struct {
+	N, BX, BY int
+	Boundary  float64
+}
+
+func (m *jacobiInitPayload) Pup(p *pup.PUP) {
+	p.Int(&m.N)
+	p.Int(&m.BX)
+	p.Int(&m.BY)
+	p.Float64(&m.Boundary)
+}
+
+// jacobiHaloPayload is the wire form of a halo exchange message.
+type jacobiHaloPayload struct {
+	Iter int
+	Dir  int
+	Data []float64
+}
+
+func (m *jacobiHaloPayload) Pup(p *pup.PUP) {
+	p.Int(&m.Iter)
+	p.Int(&m.Dir)
+	p.Float64s(&m.Data)
+}
+
+func mustPack(obj pup.Pupable) []byte {
+	data, err := pup.Pack(obj)
+	if err != nil {
+		panic(fmt.Sprintf("apps: pack: %v", err))
+	}
+	return data
+}
+
+func init() {
+	charm.RegisterType(JacobiTypeName, func() charm.Chare { return &jacobiBlock{} }, []charm.Entry{
+		{Name: "init", Fn: jacobiInit},
+		{Name: "iterate", Fn: jacobiIterate},
+		{Name: "halo", Fn: jacobiHalo},
+	})
+}
+
+func jacobiInit(obj charm.Chare, ctx *charm.Ctx, data []byte) {
+	b := obj.(*jacobiBlock)
+	var msg jacobiInitPayload
+	if err := pup.Unpack(&msg, data); err != nil {
+		panic(err)
+	}
+	b.N, b.BX, b.BY, b.Boundary = msg.N, msg.BX, msg.BY, msg.Boundary
+	b.X = ctx.Index % b.BX
+	b.Y = ctx.Index / b.BX
+	b.W = blockSpan(b.N, b.BX, b.X)
+	b.H = blockSpan(b.N, b.BY, b.Y)
+	b.Cur = make([]float64, (b.W+2)*(b.H+2))
+	b.Next = make([]float64, (b.W+2)*(b.H+2))
+	b.Iter = 0
+	b.pendHalos = make(map[int][]haloMsg)
+	b.haloNeeded = b.countNeighbors()
+	// Fixed boundary condition: the global top edge is held at Boundary,
+	// everything else starts at 0.
+	if b.Y == 0 {
+		for i := 0; i < b.W+2; i++ {
+			b.Cur[b.idx(i, 0)] = b.Boundary
+			b.Next[b.idx(i, 0)] = b.Boundary
+		}
+	}
+	ctx.Contribute([]float64{0}, charm.ReduceSum) // init barrier
+}
+
+// blockSpan divides n cells over k blocks, giving block i its share.
+func blockSpan(n, k, i int) int {
+	lo := i * n / k
+	hi := (i + 1) * n / k
+	return hi - lo
+}
+
+func jacobiIterate(obj charm.Chare, ctx *charm.Ctx, data []byte) {
+	b := obj.(*jacobiBlock)
+	b.started = true
+	b.sendHalos(ctx)
+	b.tryCompute(ctx)
+}
+
+func jacobiHalo(obj charm.Chare, ctx *charm.Ctx, data []byte) {
+	b := obj.(*jacobiBlock)
+	var msg jacobiHaloPayload
+	if err := pup.Unpack(&msg, data); err != nil {
+		panic(err)
+	}
+	b.pendHalos[msg.Iter] = append(b.pendHalos[msg.Iter], haloMsg{Dir: msg.Dir, Data: msg.Data})
+	b.tryCompute(ctx)
+}
+
+func (b *jacobiBlock) neighborIndex(dx, dy int) int {
+	return (b.Y+dy)*b.BX + (b.X + dx)
+}
+
+func (b *jacobiBlock) sendHalos(ctx *charm.Ctx) {
+	// Interior rows/cols of Cur become the neighbor's ghost cells: our top
+	// row fills the bottom ghost of the block above us, and so on.
+	if b.Y > 0 {
+		row := make([]float64, b.W)
+		for i := 0; i < b.W; i++ {
+			row[i] = b.Cur[b.idx(i+1, 1)]
+		}
+		ctx.Send(ctx.Array, b.neighborIndex(0, -1), jacobiEpHalo,
+			mustPack(&jacobiHaloPayload{Iter: b.Iter, Dir: ghostBottom, Data: row}))
+	}
+	if b.Y < b.BY-1 {
+		row := make([]float64, b.W)
+		for i := 0; i < b.W; i++ {
+			row[i] = b.Cur[b.idx(i+1, b.H)]
+		}
+		ctx.Send(ctx.Array, b.neighborIndex(0, 1), jacobiEpHalo,
+			mustPack(&jacobiHaloPayload{Iter: b.Iter, Dir: ghostTop, Data: row}))
+	}
+	if b.X > 0 {
+		col := make([]float64, b.H)
+		for j := 0; j < b.H; j++ {
+			col[j] = b.Cur[b.idx(1, j+1)]
+		}
+		ctx.Send(ctx.Array, b.neighborIndex(-1, 0), jacobiEpHalo,
+			mustPack(&jacobiHaloPayload{Iter: b.Iter, Dir: ghostRight, Data: col}))
+	}
+	if b.X < b.BX-1 {
+		col := make([]float64, b.H)
+		for j := 0; j < b.H; j++ {
+			col[j] = b.Cur[b.idx(b.W, j+1)]
+		}
+		ctx.Send(ctx.Array, b.neighborIndex(1, 0), jacobiEpHalo,
+			mustPack(&jacobiHaloPayload{Iter: b.Iter, Dir: ghostLeft, Data: col}))
+	}
+}
+
+// tryCompute runs the stencil once the iterate signal and all halos for the
+// current iteration have arrived.
+func (b *jacobiBlock) tryCompute(ctx *charm.Ctx) {
+	if !b.started || len(b.pendHalos[b.Iter]) < b.haloNeeded {
+		return
+	}
+	for _, h := range b.pendHalos[b.Iter] {
+		b.applyHalo(h)
+	}
+	delete(b.pendHalos, b.Iter)
+
+	var maxDelta float64
+	for j := 1; j <= b.H; j++ {
+		for i := 1; i <= b.W; i++ {
+			v := 0.25 * (b.Cur[b.idx(i-1, j)] + b.Cur[b.idx(i+1, j)] +
+				b.Cur[b.idx(i, j-1)] + b.Cur[b.idx(i, j+1)])
+			d := math.Abs(v - b.Cur[b.idx(i, j)])
+			if d > maxDelta {
+				maxDelta = d
+			}
+			b.Next[b.idx(i, j)] = v
+		}
+	}
+	// Preserve the fixed top boundary.
+	if b.Y == 0 {
+		for i := 0; i < b.W+2; i++ {
+			b.Next[b.idx(i, 0)] = b.Boundary
+		}
+	}
+	b.Cur, b.Next = b.Next, b.Cur
+	b.Iter++
+	b.started = false
+	ctx.Contribute([]float64{maxDelta}, charm.ReduceMax)
+}
+
+func (b *jacobiBlock) applyHalo(h haloMsg) {
+	switch h.Dir {
+	case ghostTop: // from the block above: fill our top ghost row
+		for i, v := range h.Data {
+			b.Cur[b.idx(i+1, 0)] = v
+		}
+	case ghostBottom: // from the block below: bottom ghost row
+		for i, v := range h.Data {
+			b.Cur[b.idx(i+1, b.H+1)] = v
+		}
+	case ghostLeft: // from the block to our left: left ghost col
+		for j, v := range h.Data {
+			b.Cur[b.idx(0, j+1)] = v
+		}
+	case ghostRight: // from the block to our right: right ghost col
+		for j, v := range h.Data {
+			b.Cur[b.idx(b.W+1, j+1)] = v
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package apps
+
+import (
+	"math"
+
+	"elastichpc/internal/charm"
+	"elastichpc/internal/pup"
+)
+
+// LeanMD entry-method indices.
+const (
+	mdEpInit = iota
+	mdEpIterate
+	mdEpAtoms
+)
+
+// LeanMDTypeName is the registered chare type for LeanMD cells.
+const LeanMDTypeName = "apps.leanmd"
+
+// Lennard-Jones parameters (reduced units) and integration step.
+const (
+	ljEpsilon = 1.0
+	ljSigma   = 1.0
+	ljCutoff  = 2.5
+	mdDt      = 1e-4
+)
+
+// mdCell is one chare: a spatial cell holding atoms that interact via the
+// Lennard-Jones potential with atoms in the same and neighboring cells
+// (paper §4.1: "simulates atoms considering only the Lennard-Jones
+// potential"; compute-intensive).
+type mdCell struct {
+	// Geometry.
+	KX, KY, KZ int // cell grid dimensions
+	X, Y, Z    int // this cell's coordinates
+	CellSize   float64
+
+	// State: atom positions and velocities, flattened xyz triples.
+	Iter int
+	Pos  []float64
+	Vel  []float64
+
+	// Transient.
+	started   bool
+	pendAtoms map[int][][]float64 // iteration -> neighbor atom positions
+	needed    int
+}
+
+// Pup implements charm.Chare.
+func (c *mdCell) Pup(p *pup.PUP) {
+	p.Int(&c.KX)
+	p.Int(&c.KY)
+	p.Int(&c.KZ)
+	p.Int(&c.X)
+	p.Int(&c.Y)
+	p.Int(&c.Z)
+	p.Float64(&c.CellSize)
+	p.Int(&c.Iter)
+	p.Float64s(&c.Pos)
+	p.Float64s(&c.Vel)
+	if p.IsUnpacking() {
+		c.pendAtoms = make(map[int][][]float64)
+		c.needed = len(c.neighbors())
+	}
+}
+
+// neighbors returns the linear indices of the up-to-26 neighboring cells.
+func (c *mdCell) neighbors() []int {
+	var out []int
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 && dz == 0 {
+					continue
+				}
+				x, y, z := c.X+dx, c.Y+dy, c.Z+dz
+				if x < 0 || x >= c.KX || y < 0 || y >= c.KY || z < 0 || z >= c.KZ {
+					continue
+				}
+				out = append(out, (z*c.KY+y)*c.KX+x)
+			}
+		}
+	}
+	return out
+}
+
+// mdInitPayload configures a cell at creation.
+type mdInitPayload struct {
+	KX, KY, KZ   int
+	AtomsPerCell int
+	CellSize     float64
+	Seed         int64
+}
+
+func (m *mdInitPayload) Pup(p *pup.PUP) {
+	p.Int(&m.KX)
+	p.Int(&m.KY)
+	p.Int(&m.KZ)
+	p.Int(&m.AtomsPerCell)
+	p.Float64(&m.CellSize)
+	p.Int64(&m.Seed)
+}
+
+// mdAtomsPayload carries neighbor atom positions for one iteration.
+type mdAtomsPayload struct {
+	Iter int
+	Pos  []float64
+}
+
+func (m *mdAtomsPayload) Pup(p *pup.PUP) {
+	p.Int(&m.Iter)
+	p.Float64s(&m.Pos)
+}
+
+func init() {
+	charm.RegisterType(LeanMDTypeName, func() charm.Chare { return &mdCell{} }, []charm.Entry{
+		{Name: "init", Fn: mdInit},
+		{Name: "iterate", Fn: mdIterate},
+		{Name: "atoms", Fn: mdAtoms},
+	})
+}
+
+// splitmix64 provides deterministic per-cell pseudo-random atom placement
+// without importing math/rand into chare state.
+func splitmix64(state *uint64) float64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+func mdInit(obj charm.Chare, ctx *charm.Ctx, data []byte) {
+	c := obj.(*mdCell)
+	var msg mdInitPayload
+	if err := pup.Unpack(&msg, data); err != nil {
+		panic(err)
+	}
+	c.KX, c.KY, c.KZ = msg.KX, msg.KY, msg.KZ
+	c.CellSize = msg.CellSize
+	c.X = ctx.Index % c.KX
+	c.Y = (ctx.Index / c.KX) % c.KY
+	c.Z = ctx.Index / (c.KX * c.KY)
+	c.Iter = 0
+	c.Pos = make([]float64, 0, msg.AtomsPerCell*3)
+	c.Vel = make([]float64, msg.AtomsPerCell*3)
+	state := uint64(msg.Seed) ^ uint64(ctx.Index)*0x9e3779b97f4a7c15
+	ox := float64(c.X) * c.CellSize
+	oy := float64(c.Y) * c.CellSize
+	oz := float64(c.Z) * c.CellSize
+	for a := 0; a < msg.AtomsPerCell; a++ {
+		c.Pos = append(c.Pos,
+			ox+splitmix64(&state)*c.CellSize,
+			oy+splitmix64(&state)*c.CellSize,
+			oz+splitmix64(&state)*c.CellSize)
+	}
+	c.pendAtoms = make(map[int][][]float64)
+	c.needed = len(c.neighbors())
+	ctx.Contribute([]float64{0}, charm.ReduceSum)
+}
+
+func mdIterate(obj charm.Chare, ctx *charm.Ctx, data []byte) {
+	c := obj.(*mdCell)
+	c.started = true
+	payload := mustPack(&mdAtomsPayload{Iter: c.Iter, Pos: c.Pos})
+	for _, nb := range c.neighbors() {
+		ctx.Send(ctx.Array, nb, mdEpAtoms, payload)
+	}
+	c.tryCompute(ctx)
+}
+
+func mdAtoms(obj charm.Chare, ctx *charm.Ctx, data []byte) {
+	c := obj.(*mdCell)
+	var msg mdAtomsPayload
+	if err := pup.Unpack(&msg, data); err != nil {
+		panic(err)
+	}
+	c.pendAtoms[msg.Iter] = append(c.pendAtoms[msg.Iter], msg.Pos)
+	c.tryCompute(ctx)
+}
+
+func (c *mdCell) tryCompute(ctx *charm.Ctx) {
+	if !c.started || len(c.pendAtoms[c.Iter]) < c.needed {
+		return
+	}
+	neighborPos := c.pendAtoms[c.Iter]
+	delete(c.pendAtoms, c.Iter)
+
+	n := len(c.Pos) / 3
+	forces := make([]float64, len(c.Pos))
+	// Own-cell pairwise interactions.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			fx, fy, fz := ljForce(
+				c.Pos[i*3], c.Pos[i*3+1], c.Pos[i*3+2],
+				c.Pos[j*3], c.Pos[j*3+1], c.Pos[j*3+2])
+			forces[i*3] += fx
+			forces[i*3+1] += fy
+			forces[i*3+2] += fz
+			forces[j*3] -= fx
+			forces[j*3+1] -= fy
+			forces[j*3+2] -= fz
+		}
+	}
+	// Interactions with neighbor-cell atoms.
+	var kinetic float64
+	for _, np := range neighborPos {
+		m := len(np) / 3
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				fx, fy, fz := ljForce(
+					c.Pos[i*3], c.Pos[i*3+1], c.Pos[i*3+2],
+					np[j*3], np[j*3+1], np[j*3+2])
+				forces[i*3] += fx
+				forces[i*3+1] += fy
+				forces[i*3+2] += fz
+			}
+		}
+	}
+	// Velocity-Verlet-ish integration (single half step is enough for a
+	// mini-app; the compute kernel is the point).
+	for i := 0; i < len(c.Pos); i++ {
+		c.Vel[i] += forces[i] * mdDt
+		c.Pos[i] += c.Vel[i] * mdDt
+		kinetic += 0.5 * c.Vel[i] * c.Vel[i]
+	}
+	c.Iter++
+	c.started = false
+	ctx.Contribute([]float64{kinetic}, charm.ReduceSum)
+}
+
+// ljForce computes the Lennard-Jones force on atom a from atom b, truncated
+// at the cutoff radius.
+func ljForce(ax, ay, az, bx, by, bz float64) (fx, fy, fz float64) {
+	dx, dy, dz := ax-bx, ay-by, az-bz
+	r2 := dx*dx + dy*dy + dz*dz
+	if r2 >= ljCutoff*ljCutoff || r2 == 0 {
+		return 0, 0, 0
+	}
+	// Clamp to avoid numeric blow-up when random initial placement puts
+	// two atoms on top of each other.
+	const minR2 = 0.64 * ljSigma * ljSigma
+	if r2 < minR2 {
+		r2 = minR2
+	}
+	inv2 := ljSigma * ljSigma / r2
+	inv6 := inv2 * inv2 * inv2
+	// F = 24ε/r² · (2·(σ/r)¹² − (σ/r)⁶) · r⃗
+	f := 24 * ljEpsilon / r2 * (2*inv6*inv6 - inv6)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, 0, 0
+	}
+	return f * dx, f * dy, f * dz
+}

@@ -1,0 +1,80 @@
+package charm
+
+import "sync"
+
+// msgKind discriminates scheduler messages.
+type msgKind int
+
+const (
+	kInvoke msgKind = iota // deliver an entry-method invocation
+	kPause                 // park the PE until resumed (quiescence)
+	kStop                  // exit the scheduler loop
+)
+
+// message is one unit of work in a PE's queue.
+type message struct {
+	kind  msgKind
+	array int
+	index int
+	entry int
+	data  []byte
+}
+
+// msgq is an unbounded FIFO message queue. Sends never block, which makes
+// arbitrary chare-to-chare communication patterns deadlock-free (a bounded
+// channel could deadlock two PEs sending into each other's full queues).
+type msgq struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []message
+	closed bool
+}
+
+func newMsgq() *msgq {
+	q := &msgq{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues m. Pushing to a closed queue drops the message.
+func (q *msgq) push(m message) {
+	q.mu.Lock()
+	if !q.closed {
+		q.items = append(q.items, m)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+// pop dequeues the next message, blocking until one is available. It returns
+// ok=false once the queue is closed and drained.
+func (q *msgq) pop() (message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return message{}, false
+	}
+	m := q.items[0]
+	// Slide rather than re-slice forever so the backing array is reused.
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	return m, true
+}
+
+// close marks the queue closed and wakes any blocked pop.
+func (q *msgq) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// len reports the number of queued messages.
+func (q *msgq) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

@@ -1,0 +1,165 @@
+// Package chart renders time-series as compact ASCII plots so the
+// reproduction's figures (utilization profiles, replica timelines, scaling
+// curves) are inspectable straight from a terminal, without a plotting
+// stack. The renderer is deliberately simple: step-interpolated series,
+// fixed-size character grid, y-axis labels.
+package chart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named step function: the value at x is the Y of the last
+// point at or before x.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// valueAt evaluates the step function, clamping before the first point to
+// the first Y.
+func (s Series) valueAt(x float64) float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	v := s.Points[0].Y
+	for _, p := range s.Points {
+		if p.X > x {
+			break
+		}
+		v = p.Y
+	}
+	return v
+}
+
+// Options controls rendering.
+type Options struct {
+	Width  int // plot columns (default 72)
+	Height int // plot rows (default 12)
+	YMax   float64
+	YMin   float64
+	// YLabel annotates the axis (e.g. "slots").
+	YLabel string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 72
+	}
+	if o.Height <= 0 {
+		o.Height = 12
+	}
+	return o
+}
+
+// Render draws one series as an ASCII step chart.
+func Render(s Series, opts Options) string {
+	opts = opts.withDefaults()
+	if len(s.Points) == 0 {
+		return fmt.Sprintf("%s: (no data)\n", s.Name)
+	}
+	xMin := s.Points[0].X
+	xMax := s.Points[len(s.Points)-1].X
+	if xMax <= xMin {
+		xMax = xMin + 1
+	}
+	yMin, yMax := opts.YMin, opts.YMax
+	if yMax <= yMin {
+		yMin, yMax = math.Inf(1), math.Inf(-1)
+		for _, p := range s.Points {
+			yMin = math.Min(yMin, p.Y)
+			yMax = math.Max(yMax, p.Y)
+		}
+		if yMax <= yMin {
+			yMax = yMin + 1
+		}
+	}
+
+	// Sample the step function into columns.
+	cols := make([]float64, opts.Width)
+	for c := range cols {
+		x := xMin + (xMax-xMin)*float64(c)/float64(opts.Width-1)
+		cols[c] = s.valueAt(x)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Name)
+	for row := opts.Height - 1; row >= 0; row-- {
+		// The value band covered by this row.
+		lo := yMin + (yMax-yMin)*float64(row)/float64(opts.Height)
+		label := ""
+		switch row {
+		case opts.Height - 1:
+			label = format(yMax)
+		case 0:
+			label = format(yMin)
+		case opts.Height / 2:
+			label = format((yMin + yMax) / 2)
+		}
+		fmt.Fprintf(&b, "%8s │", label)
+		for _, v := range cols {
+			if v > lo+1e-12 || (row == 0 && v >= yMin) {
+				if v > lo+(yMax-yMin)/float64(opts.Height) {
+					b.WriteRune('█')
+				} else {
+					b.WriteRune('▄')
+				}
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%8s └%s\n", "", strings.Repeat("─", opts.Width))
+	fmt.Fprintf(&b, "%9s%-12s%*s\n", "", format(xMin), opts.Width-11, format(xMax))
+	if opts.YLabel != "" {
+		fmt.Fprintf(&b, "%9s(y: %s)\n", "", opts.YLabel)
+	}
+	return b.String()
+}
+
+// format renders an axis value compactly.
+func format(v float64) string {
+	switch {
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// RenderMulti draws several series stacked vertically with a shared y-range,
+// which is how the Figure 9a per-policy utilization profiles are compared.
+func RenderMulti(series []Series, opts Options) string {
+	opts = opts.withDefaults()
+	if opts.YMax <= opts.YMin {
+		// Shared auto-range across all series.
+		yMin, yMax := math.Inf(1), math.Inf(-1)
+		for _, s := range series {
+			for _, p := range s.Points {
+				yMin = math.Min(yMin, p.Y)
+				yMax = math.Max(yMax, p.Y)
+			}
+		}
+		if yMax > yMin {
+			opts.YMin, opts.YMax = yMin, yMax
+		}
+	}
+	var b strings.Builder
+	for i, s := range series {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(Render(s, opts))
+	}
+	return b.String()
+}

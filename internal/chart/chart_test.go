@@ -1,0 +1,82 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderEmptySeries(t *testing.T) {
+	out := Render(Series{Name: "empty"}, Options{})
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty render = %q", out)
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	s := Series{Name: "util", Points: []Point{{0, 0}, {10, 32}, {20, 64}, {30, 16}}}
+	out := Render(s, Options{Width: 40, Height: 8, YMin: 0, YMax: 64, YLabel: "slots"})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// name + height rows + axis + x labels + y label
+	if len(lines) != 1+8+1+1+1 {
+		t.Fatalf("render has %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "util" {
+		t.Errorf("title = %q", lines[0])
+	}
+	if !strings.Contains(out, "slots") {
+		t.Error("y label missing")
+	}
+	// The top row should only be filled where the series is at 64.
+	top := lines[1]
+	if !strings.Contains(top, "█") && !strings.Contains(top, "▄") {
+		t.Error("peak row empty despite a max-value segment")
+	}
+	// The axis labels include the max.
+	if !strings.Contains(out, "64.0") {
+		t.Errorf("y-max label missing:\n%s", out)
+	}
+}
+
+func TestStepSemantics(t *testing.T) {
+	s := Series{Points: []Point{{0, 1}, {10, 5}}}
+	if got := s.valueAt(5); got != 1 {
+		t.Errorf("valueAt(5) = %g, want 1 (step holds last value)", got)
+	}
+	if got := s.valueAt(10); got != 5 {
+		t.Errorf("valueAt(10) = %g", got)
+	}
+	if got := s.valueAt(-1); got != 1 {
+		t.Errorf("valueAt before first = %g", got)
+	}
+}
+
+func TestRenderMultiSharedRange(t *testing.T) {
+	a := Series{Name: "a", Points: []Point{{0, 10}, {10, 10}}}
+	bSeries := Series{Name: "b", Points: []Point{{0, 100}, {10, 100}}}
+	out := RenderMulti([]Series{a, bSeries}, Options{Width: 20, Height: 4})
+	// Both charts share the 10..100 range, so "100" appears as the max
+	// label in both.
+	if strings.Count(out, "100") < 2 {
+		t.Errorf("shared range labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "a\n") || !strings.Contains(out, "b\n") {
+		t.Error("series names missing")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	s := Series{Name: "flat", Points: []Point{{0, 5}, {100, 5}}}
+	out := Render(s, Options{Width: 30, Height: 4})
+	if out == "" || !strings.Contains(out, "flat") {
+		t.Error("constant series failed to render")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s := Series{Name: "x", Points: []Point{{0, 0}, {1, 1}}}
+	out := Render(s, Options{})
+	lines := strings.Split(out, "\n")
+	if len(lines) < 14 { // 12 rows + chrome
+		t.Errorf("default height not applied: %d lines", len(lines))
+	}
+}

@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"elastichpc/internal/core"
+	"elastichpc/internal/k8s"
+	"elastichpc/internal/model"
+	"elastichpc/internal/operator"
+	"elastichpc/internal/sim"
+)
+
+// modelApps implements operator.AppRuntime with the calibrated performance
+// model: each launched job progresses through its iterations at the modelled
+// per-iteration rate, freezes for the four-phase overhead on every rescale,
+// and fires a completion callback when the final iteration lands. This
+// substitutes for real Charm++ binaries in the emulated EKS runs (the real
+// runtime exists in internal/charm and is exercised by Figures 4–6; running
+// 40,000-iteration production jobs through it would take the paper's
+// wall-clock hours).
+type modelApps struct {
+	c    *Cluster
+	apps map[string]*appState
+	// checkpoints holds each job's last periodic-checkpoint iteration
+	// (the paper's §3.2.2 fault-tolerance state; survives app restarts).
+	checkpoints map[string]float64
+}
+
+// appState is one running application.
+type appState struct {
+	name        string
+	grid        int
+	steps       int
+	ckptPeriod  int
+	replicas    int
+	itersDone   float64
+	lastUpdate  time.Time
+	frozenUntil time.Time
+	seq         int64
+	rescales    int
+	overheadSec float64
+}
+
+func newModelApps(c *Cluster) *modelApps {
+	return &modelApps{c: c, apps: make(map[string]*appState), checkpoints: make(map[string]float64)}
+}
+
+// progress credits iterations completed since the last update at the current
+// replica count.
+func (m *modelApps) progress(a *appState) {
+	now := m.c.Loop.Now()
+	from := a.lastUpdate
+	if a.frozenUntil.After(from) {
+		from = a.frozenUntil
+	}
+	if now.After(from) && a.replicas > 0 {
+		iterTime := m.c.cfg.Machine.IterTime(a.grid, a.replicas)
+		a.itersDone += now.Sub(from).Seconds() / iterTime
+		if a.itersDone > float64(a.steps) {
+			a.itersDone = float64(a.steps)
+		}
+	}
+	a.lastUpdate = now
+}
+
+// rearm schedules the job's completion callback from its remaining work,
+// charging overhead seconds of frozen time first.
+func (m *modelApps) rearm(a *appState, overhead float64) {
+	a.seq++
+	seq := a.seq
+	now := m.c.Loop.Now()
+	a.frozenUntil = now.Add(time.Duration(overhead * float64(time.Second)))
+	remaining := float64(a.steps) - a.itersDone
+	iterTime := m.c.cfg.Machine.IterTime(a.grid, a.replicas)
+	finish := overhead + remaining*iterTime
+	m.c.Loop.At(time.Duration(finish*float64(time.Second)), func() {
+		if a.seq != seq {
+			return // superseded by a rescale
+		}
+		m.c.jobDone(a.name)
+	})
+}
+
+// Launch implements operator.AppRuntime.
+func (m *modelApps) Launch(job *operator.CharmJob, nodelist []string) error {
+	if len(nodelist) != job.Spec.Replicas {
+		return fmt.Errorf("cluster: launch %s with %d of %d workers", job.Name, len(nodelist), job.Spec.Replicas)
+	}
+	a := &appState{
+		name:       job.Name,
+		grid:       job.Spec.Workload.Grid,
+		steps:      job.Spec.Workload.Steps,
+		ckptPeriod: job.Spec.CheckpointPeriod,
+		replicas:   job.Spec.Replicas,
+		lastUpdate: m.c.Loop.Now(),
+	}
+	if a.grid <= 0 || a.steps <= 0 {
+		return fmt.Errorf("cluster: job %s has no workload", job.Name)
+	}
+	overhead := 0.0
+	if done, ok := m.checkpoints[job.Name]; ok && done > 0 {
+		// Restarting after a failure: resume from the checkpoint and
+		// pay the restart+restore cost of reading it back.
+		a.itersDone = done
+		ph := m.c.cfg.Machine.RescaleOverhead(a.grid, a.replicas, a.replicas)
+		overhead = ph.Restart + ph.Restore
+	}
+	m.apps[job.Name] = a
+	m.rearm(a, overhead)
+	return nil
+}
+
+// Shrink implements operator.AppRuntime: the application checkpoints to shm,
+// restarts with fewer PEs, and acknowledges; the controller then deletes the
+// surplus pods.
+func (m *modelApps) Shrink(job *operator.CharmJob, newReplicas int) error {
+	return m.rescale(job.Name, newReplicas)
+}
+
+// Expand implements operator.AppRuntime.
+func (m *modelApps) Expand(job *operator.CharmJob, newReplicas int, nodelist []string) error {
+	if len(nodelist) < newReplicas {
+		return fmt.Errorf("cluster: expand %s: nodelist has %d of %d workers", job.Name, len(nodelist), newReplicas)
+	}
+	return m.rescale(job.Name, newReplicas)
+}
+
+func (m *modelApps) rescale(name string, to int) error {
+	a, ok := m.apps[name]
+	if !ok {
+		return fmt.Errorf("cluster: app %s not running", name)
+	}
+	if to == a.replicas {
+		return nil
+	}
+	m.progress(a)
+	ph := m.c.cfg.Machine.RescaleOverhead(a.grid, a.replicas, to)
+	a.replicas = to
+	a.rescales++
+	a.overheadSec += ph.Total()
+	m.rearm(a, ph.Total())
+	return nil
+}
+
+// Stop implements operator.AppRuntime. If periodic checkpointing is enabled
+// the last completed checkpoint survives for a later restart.
+func (m *modelApps) Stop(job *operator.CharmJob) {
+	if a, ok := m.apps[job.Name]; ok {
+		a.seq++ // cancel any pending completion
+		m.progress(a)
+		if a.ckptPeriod > 0 {
+			period := float64(a.ckptPeriod)
+			m.checkpoints[job.Name] = float64(int(a.itersDone/period)) * period
+		}
+	}
+	delete(m.apps, job.Name)
+}
+
+// RunExperiment builds a cluster, submits the workload, runs it to
+// completion, and returns the metrics. It is the harness behind Table 1
+// "Actual" and Figure 9.
+func RunExperiment(cfg Config, w sim.Workload) (sim.Result, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	specs := model.Specs()
+	for _, js := range w.Jobs {
+		spec := specs[js.Class]
+		maxR := spec.MaxReplicas
+		if maxR > cfg.Nodes*cfg.CPUPerNode {
+			maxR = cfg.Nodes * cfg.CPUPerNode
+		}
+		job := &operator.CharmJob{
+			ObjectMeta: k8s.ObjectMeta{Name: js.ID},
+			Spec: operator.CharmJobSpec{
+				MinReplicas:  spec.MinReplicas,
+				MaxReplicas:  maxR,
+				Priority:     js.Priority,
+				CPUPerWorker: 1,
+				ShmBytes:     1 << 30,
+				Workload:     operator.WorkloadSpec{Grid: spec.Grid, Steps: spec.Steps},
+			},
+		}
+		c.Submit(job, time.Duration(js.SubmitAt*float64(time.Second)))
+	}
+	if err := c.Run(len(w.Jobs), 10_000_000); err != nil {
+		return sim.Result{}, err
+	}
+	return c.Result(), nil
+}
+
+// Table1Actual runs the fixed Table 1 workload through the full emulation
+// for every policy (the paper's "Actual" columns).
+func Table1Actual() (map[core.Policy]sim.Result, error) {
+	w := sim.Table1Workload()
+	out := make(map[core.Policy]sim.Result, 4)
+	for _, p := range core.AllPolicies() {
+		res, err := RunExperiment(DefaultConfig(p), w)
+		if err != nil {
+			return nil, fmt.Errorf("policy %v: %w", p, err)
+		}
+		out[p] = res
+	}
+	return out, nil
+}

@@ -1,0 +1,266 @@
+// Package cluster is the full-stack emulation of the paper's EKS experiments
+// (§4.3.2): real k8s substrate (store, pod scheduler, kubelet), the real
+// Charm operator and elastic policy, and a modelled Charm++ application —
+// all driven deterministically on a virtual clock. It produces the "Actual"
+// column of Table 1 and the Figure 9 utilization/replica timelines, and its
+// results cross-validate the independent discrete-event simulator
+// (internal/sim), the same way the paper compares actual vs simulation.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"elastichpc/internal/core"
+	"elastichpc/internal/k8s"
+	"elastichpc/internal/model"
+	"elastichpc/internal/operator"
+	"elastichpc/internal/sim"
+)
+
+// Config parameterizes the emulated cluster.
+type Config struct {
+	// Nodes and CPUPerNode describe the node group (4 × c6g.4xlarge with
+	// 16 vCPUs in the paper).
+	Nodes      int
+	CPUPerNode int
+	Policy     core.Policy
+	// RescaleGap is T_rescale_gap.
+	RescaleGap time.Duration
+	// Machine calibrates the modelled application performance.
+	Machine model.Machine
+	// PodStartupDelay is the kubelet bind→Running latency.
+	PodStartupDelay time.Duration
+}
+
+// DefaultConfig matches the paper's cluster.
+func DefaultConfig(p core.Policy) Config {
+	return Config{
+		Nodes: 4, CPUPerNode: 16, Policy: p,
+		RescaleGap:      180 * time.Second,
+		Machine:         model.DefaultMachine(),
+		PodStartupDelay: 2 * time.Second,
+	}
+}
+
+// Cluster is one emulated cluster instance.
+type Cluster struct {
+	cfg      Config
+	Loop     *k8s.EventLoop
+	Store    *k8s.Store
+	PodSched *k8s.PodScheduler
+	Kubelet  *k8s.Kubelet
+	Ctrl     *operator.Controller
+	Mgr      *operator.Manager
+
+	apps  *modelApps
+	start time.Time
+
+	// Utilization accounting over bound worker pods.
+	usedCPU  int
+	utilTL   []sim.UtilSample
+	utilArea float64
+	utilLast time.Time
+
+	// Per-job replica timelines (Figure 9b).
+	replicaTL map[string][]sim.ReplicaSample
+
+	done map[string]bool
+}
+
+// New builds a cluster with its control plane.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes < 1 || cfg.CPUPerNode < 1 {
+		return nil, fmt.Errorf("cluster: bad node group %dx%d", cfg.Nodes, cfg.CPUPerNode)
+	}
+	start := time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+	loop := k8s.NewEventLoop(start)
+	store := k8s.NewStore(loop)
+	c := &Cluster{
+		cfg: cfg, Loop: loop, Store: store, start: start,
+		utilLast:  start,
+		replicaTL: make(map[string][]sim.ReplicaSample),
+		done:      make(map[string]bool),
+	}
+	c.PodSched = k8s.NewPodScheduler(loop, store)
+	c.Kubelet = k8s.NewKubelet(loop, store, cfg.PodStartupDelay)
+	c.apps = newModelApps(c)
+	c.Ctrl = operator.NewController(loop, store, c.apps)
+
+	mgr, err := operator.NewManager(loop, store, c.Ctrl, core.Config{
+		Policy:     cfg.Policy,
+		Capacity:   cfg.Nodes * cfg.CPUPerNode,
+		RescaleGap: cfg.RescaleGap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Mgr = mgr
+
+	for i := 0; i < cfg.Nodes; i++ {
+		node := &k8s.Node{
+			ObjectMeta:  k8s.ObjectMeta{Name: fmt.Sprintf("node-%d", i)},
+			CapacityCPU: cfg.CPUPerNode,
+		}
+		if err := store.Create(node); err != nil {
+			return nil, err
+		}
+	}
+
+	// Utilization: integrate bound worker-pod CPU over time.
+	store.Subscribe(k8s.KindPod, func(ev k8s.Event) { c.onPodEvent(ev) })
+	// Replica timelines: sample on job status updates.
+	store.Subscribe(k8s.KindCharmJob, func(ev k8s.Event) { c.onJobEvent(ev) })
+
+	loop.RunUntilIdle()
+	return c, nil
+}
+
+func (c *Cluster) onPodEvent(ev k8s.Event) {
+	pod := ev.Object.(*k8s.Pod)
+	if pod.Labels["role"] != "worker" {
+		return
+	}
+	// Recompute used CPU from the store (events may coalesce).
+	used := 0
+	for _, p := range c.Store.Pods(map[string]string{"role": "worker"}) {
+		if p.Spec.NodeName != "" && p.Status.Phase != k8s.PodSucceeded && p.Status.Phase != k8s.PodFailed {
+			used += p.Spec.CPU
+		}
+	}
+	if used == c.usedCPU {
+		return
+	}
+	now := c.Loop.Now()
+	c.utilArea += float64(c.usedCPU) * now.Sub(c.utilLast).Seconds()
+	c.utilLast = now
+	c.usedCPU = used
+	c.utilTL = append(c.utilTL, sim.UtilSample{At: now.Sub(c.start).Seconds(), Used: used})
+}
+
+func (c *Cluster) onJobEvent(ev k8s.Event) {
+	if ev.Type == k8s.Deleted {
+		return
+	}
+	job := ev.Object.(*operator.CharmJob)
+	tl := c.replicaTL[job.Name]
+	cur := job.Status.LaunchedReplicas
+	if job.Status.Phase == operator.JobSucceeded {
+		cur = 0
+	}
+	if len(tl) > 0 && tl[len(tl)-1].Replicas == cur {
+		return
+	}
+	c.replicaTL[job.Name] = append(tl, sim.ReplicaSample{
+		At: c.Loop.Now().Sub(c.start).Seconds(), Replicas: cur,
+	})
+}
+
+// Submit schedules a CharmJob submission at the given offset from start.
+func (c *Cluster) Submit(job *operator.CharmJob, at time.Duration) {
+	c.Loop.At(at, func() {
+		if err := c.Mgr.Submit(job); err != nil {
+			panic(fmt.Sprintf("cluster: submit %s: %v", job.Name, err))
+		}
+	})
+}
+
+// FailNode schedules a simulated node crash at the given offset: every pod
+// bound to the node fails, triggering the operator's §3.2.2 restart path
+// for the affected jobs. The node itself recovers immediately (a reboot),
+// so cluster capacity is unchanged.
+func (c *Cluster) FailNode(node string, at time.Duration) {
+	c.Loop.At(at, func() {
+		k8s.FailPodsOnNode(c.Store, node)
+	})
+}
+
+// jobDone is called by the modelled application when a job's final
+// iteration completes.
+func (c *Cluster) jobDone(name string) {
+	if c.done[name] {
+		return
+	}
+	c.done[name] = true
+	if err := c.Mgr.JobFinished(name); err != nil {
+		panic(fmt.Sprintf("cluster: finish %s: %v", name, err))
+	}
+}
+
+// Run drives the emulation until every submitted job completes or no
+// progress is possible. maxSteps bounds runaway reconcile loops.
+func (c *Cluster) Run(expectJobs int, maxSteps int) error {
+	steps := 0
+	ok := c.Loop.RunUntil(func() bool {
+		steps++
+		if steps > maxSteps {
+			return true
+		}
+		return len(c.done) >= expectJobs
+	})
+	if !ok || len(c.done) < expectJobs {
+		return fmt.Errorf("cluster: only %d of %d jobs completed after %d steps",
+			len(c.done), expectJobs, steps)
+	}
+	return nil
+}
+
+// Result computes the experiment metrics in the paper's four-metric form.
+func (c *Cluster) Result() sim.Result {
+	res := sim.Result{
+		Policy:           c.cfg.Policy,
+		UtilTimeline:     c.utilTL,
+		ReplicaTimelines: c.replicaTL,
+	}
+	capacity := float64(c.cfg.Nodes * c.cfg.CPUPerNode)
+	var firstStart, lastEnd float64
+	first := true
+	var wSum, wResp, wComp float64
+	for name := range c.done {
+		cj, ok := c.Mgr.CoreJob(name)
+		if !ok {
+			continue
+		}
+		m := sim.JobMetrics{
+			ID:             name,
+			Priority:       cj.Priority,
+			SubmitAt:       cj.SubmitTime.Sub(c.start).Seconds(),
+			StartAt:        cj.StartTime.Sub(c.start).Seconds(),
+			EndAt:          cj.EndTime.Sub(c.start).Seconds(),
+			Rescales:       cj.Rescales,
+			ResponseTime:   cj.ResponseTime().Seconds(),
+			CompletionTime: cj.CompletionTime().Seconds(),
+		}
+		for _, s := range c.replicaTL[name] {
+			if s.Replicas > m.Replicas {
+				m.Replicas = s.Replicas
+			}
+		}
+		res.Jobs = append(res.Jobs, m)
+		if first || m.StartAt < firstStart {
+			firstStart, first = m.StartAt, false
+		}
+		if m.EndAt > lastEnd {
+			lastEnd = m.EndAt
+		}
+		w := float64(cj.Priority)
+		wSum += w
+		wResp += w * m.ResponseTime
+		wComp += w * m.CompletionTime
+	}
+	res.TotalTime = lastEnd - firstStart
+	end := c.utilLast.Sub(c.start).Seconds()
+	if lastEnd > end {
+		end = lastEnd
+	}
+	if end > 0 {
+		c.utilArea += float64(c.usedCPU) * (c.Loop.Now().Sub(c.utilLast)).Seconds()
+		c.utilLast = c.Loop.Now()
+		res.Utilization = c.utilArea / (capacity * end)
+	}
+	if wSum > 0 {
+		res.WeightedResponse = wResp / wSum
+		res.WeightedCompletion = wComp / wSum
+	}
+	return res
+}

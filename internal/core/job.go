@@ -1,0 +1,120 @@
+// Package core implements the paper's primary contribution: a priority-based
+// elastic job scheduling policy for malleable HPC jobs (paper §3.2, Figures
+// 2 and 3), plus the three baseline policies it is evaluated against
+// (rigid-min, rigid-max, moldable — paper §4.3).
+//
+// The scheduler is clock- and substrate-agnostic: it tracks slot accounting
+// itself and drives an Actuator interface, so the same policy code runs
+// inside the discrete-event simulator (internal/sim) and inside the
+// Kubernetes operator (internal/operator) — mirroring how the paper's
+// simulator and EKS deployment share one policy.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// State is a job's lifecycle state.
+type State int
+
+// Job lifecycle states.
+const (
+	StateQueued State = iota
+	StateRunning
+	StateCompleted
+	StatePreempted
+)
+
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "Queued"
+	case StateRunning:
+		return "Running"
+	case StateCompleted:
+		return "Completed"
+	case StatePreempted:
+		return "Preempted"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Job is the scheduler's view of one malleable job. MinReplicas and
+// MaxReplicas bound the allocation (the CRD fields added in §3.2.1);
+// Priority is user-defined with larger values scheduled first; ties are
+// broken by earlier SubmitTime.
+type Job struct {
+	ID          string
+	Priority    int
+	MinReplicas int
+	MaxReplicas int
+	SubmitTime  time.Time
+
+	// Managed by the scheduler.
+	State      State
+	Replicas   int
+	LastAction time.Time // last creation/shrink/expand event (rescale-gap anchor)
+	StartTime  time.Time
+	EndTime    time.Time
+	Rescales   int // number of shrink/expand events applied to this job
+}
+
+// Validate checks the job's static fields.
+func (j *Job) Validate() error {
+	if j.ID == "" {
+		return fmt.Errorf("core: job has no ID")
+	}
+	if j.MinReplicas < 1 {
+		return fmt.Errorf("core: job %s: minReplicas %d < 1", j.ID, j.MinReplicas)
+	}
+	if j.MaxReplicas < j.MinReplicas {
+		return fmt.Errorf("core: job %s: maxReplicas %d < minReplicas %d", j.ID, j.MaxReplicas, j.MinReplicas)
+	}
+	return nil
+}
+
+// ResponseTime is the submission→start latency (paper metric: "time between
+// a job submission and start"). Zero if the job has not started.
+func (j *Job) ResponseTime() time.Duration {
+	if j.StartTime.IsZero() {
+		return 0
+	}
+	return j.StartTime.Sub(j.SubmitTime)
+}
+
+// CompletionTime is the submission→completion latency. Zero if not finished.
+func (j *Job) CompletionTime() time.Duration {
+	if j.EndTime.IsZero() {
+		return 0
+	}
+	return j.EndTime.Sub(j.SubmitTime)
+}
+
+// byPriority sorts jobs in decreasing scheduling priority: higher Priority
+// first; among equals, earlier submission first; IDs break exact ties so
+// ordering is total and deterministic.
+type byPriority struct {
+	jobs []*Job
+	eff  func(*Job) float64
+}
+
+func (b byPriority) Len() int      { return len(b.jobs) }
+func (b byPriority) Swap(i, j int) { b.jobs[i], b.jobs[j] = b.jobs[j], b.jobs[i] }
+func (b byPriority) Less(i, j int) bool {
+	ji, jj := b.jobs[i], b.jobs[j]
+	pi, pj := b.eff(ji), b.eff(jj)
+	if pi != pj {
+		return pi > pj
+	}
+	if !ji.SubmitTime.Equal(jj.SubmitTime) {
+		return ji.SubmitTime.Before(jj.SubmitTime)
+	}
+	return ji.ID < jj.ID
+}
+
+// sortByPriority sorts jobs in decreasing effective priority.
+func sortByPriority(jobs []*Job, eff func(*Job) float64) {
+	sort.Stable(byPriority{jobs: jobs, eff: eff})
+}

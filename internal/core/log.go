@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// DecisionKind classifies a scheduling decision.
+type DecisionKind int
+
+// Decision kinds recorded by the scheduler.
+const (
+	DecisionStart DecisionKind = iota
+	DecisionShrink
+	DecisionExpand
+	DecisionEnqueue
+	DecisionComplete
+	DecisionPreempt
+)
+
+func (k DecisionKind) String() string {
+	switch k {
+	case DecisionStart:
+		return "start"
+	case DecisionShrink:
+		return "shrink"
+	case DecisionExpand:
+		return "expand"
+	case DecisionEnqueue:
+		return "enqueue"
+	case DecisionComplete:
+		return "complete"
+	case DecisionPreempt:
+		return "preempt"
+	}
+	return fmt.Sprintf("DecisionKind(%d)", int(k))
+}
+
+// Decision is one entry in the scheduler's decision log — the audit trail
+// of every policy action, with the slot accounting at the time it was made.
+type Decision struct {
+	At        time.Time
+	Kind      DecisionKind
+	JobID     string
+	Replicas  int // allocation after the decision (0 for enqueue/complete)
+	FreeSlots int // free slots after the decision
+}
+
+// String formats a decision as one log line.
+func (d Decision) String() string {
+	return fmt.Sprintf("%s %-8s %-12s replicas=%-3d free=%d",
+		d.At.Format("15:04:05"), d.Kind, d.JobID, d.Replicas, d.FreeSlots)
+}
+
+// maxLogEntries bounds the in-memory decision log; older entries are
+// discarded (the operator runs for days).
+const maxLogEntries = 100_000
+
+// record appends a decision to the log.
+func (s *Scheduler) record(kind DecisionKind, j *Job) {
+	if !s.cfg.EnableLog {
+		return
+	}
+	if len(s.log) >= maxLogEntries {
+		copy(s.log, s.log[len(s.log)/2:])
+		s.log = s.log[:len(s.log)-len(s.log)/2]
+	}
+	s.log = append(s.log, Decision{
+		At: s.now(), Kind: kind, JobID: j.ID, Replicas: j.Replicas, FreeSlots: s.free,
+	})
+}
+
+// Log returns a copy of the decision log (empty unless Config.EnableLog).
+func (s *Scheduler) Log() []Decision {
+	return append([]Decision(nil), s.log...)
+}

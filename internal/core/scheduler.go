@@ -1,0 +1,540 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Policy selects one of the four scheduling strategies compared in §4.3.
+type Policy int
+
+// The four policies the paper evaluates.
+const (
+	// Elastic is the paper's contribution: jobs launch anywhere within
+	// [min,max] replicas and are rescaled on the fly (Figures 2 & 3).
+	Elastic Policy = iota
+	// Moldable picks the replica count at launch to maximize utilization
+	// but never rescales a running job. The paper emulates it as the
+	// elastic policy with an effectively infinite rescale gap.
+	Moldable
+	// RigidMin launches every job with exactly minReplicas.
+	RigidMin
+	// RigidMax launches every job with exactly maxReplicas.
+	RigidMax
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Elastic:
+		return "elastic"
+	case Moldable:
+		return "moldable"
+	case RigidMin:
+		return "min_replicas"
+	case RigidMax:
+		return "max_replicas"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// AllPolicies lists the four policies in the paper's presentation order.
+func AllPolicies() []Policy { return []Policy{RigidMin, RigidMax, Moldable, Elastic} }
+
+// Actuator is the substrate the scheduler drives: the DES simulator or the
+// Kubernetes operator. Each call may fail (e.g. the application declined the
+// rescale, or pods could not be placed); the scheduler treats failures as
+// "this job cannot change right now" and moves on, exactly like the
+// pseudocode's boolean shrinkJob/createOrExpandJob results.
+type Actuator interface {
+	// StartJob launches a queued (or preempted) job with the given
+	// replica count.
+	StartJob(j *Job, replicas int) error
+	// ShrinkJob rescales a running job down to the given replica count.
+	ShrinkJob(j *Job, to int) error
+	// ExpandJob rescales a running job up to the given replica count.
+	ExpandJob(j *Job, to int) error
+	// PreemptJob checkpoints and stops a running job (optional extension,
+	// paper §3.2.2). Only called when Config.EnablePreemption is set.
+	PreemptJob(j *Job) error
+}
+
+// CostBenefit optionally gates rescale decisions on application progress
+// (paper §6 future work). A nil function disables the corresponding gate.
+type CostBenefit struct {
+	// Progress reports the fraction of the job already completed, 0..1.
+	Progress func(j *Job) float64
+	// MinRemainingFraction declines any rescale of a job whose remaining
+	// fraction is below this threshold ("If only a small fraction of a
+	// job remains, scaling up may not provide enough benefit").
+	MinRemainingFraction float64
+	// MinExpandGain declines an expand that grows the job by fewer than
+	// this many replicas ("A small increase in the number of replicas may
+	// not justify the overhead of rescaling").
+	MinExpandGain int
+}
+
+// Config configures a Scheduler.
+type Config struct {
+	Policy   Policy
+	Capacity int // total worker slots in the cluster (vCPUs in the paper)
+	// RescaleGap is the minimum time between scheduling events on the
+	// same job (T_rescale_gap, §3.2.1). Creation stamps LastAction, so a
+	// freshly started job cannot be rescaled within the gap either.
+	RescaleGap time.Duration
+	// JobOverheadSlots is the per-job slot overhead beyond its workers
+	// (the launcher pod; the pseudocode's "freeSlots - 1"). The paper's
+	// experiments run launchers outside the worker slot pool, so the
+	// experiment harnesses use 0; set 1 for the literal Figure 2 snippet.
+	JobOverheadSlots int
+	// AgingRate adds AgingRate priority units per second of queue wait to
+	// a job's effective priority (paper §3.2.2 "Aging priorities"
+	// extension). 0 disables aging.
+	AgingRate float64
+	// EnablePreemption lets the scheduler checkpoint-and-stop lower
+	// priority jobs when shrinking alone cannot make room for a higher
+	// priority job (paper §3.2.2 "Job preemption" extension).
+	EnablePreemption bool
+	// StrictFCFS disables out-of-order allocation: redistribution stops
+	// at the first queued job that does not fit instead of letting
+	// smaller lower-priority jobs fill the gaps. The paper's policy is
+	// explicitly NOT strict ("out-of-order allocations if they improve
+	// cluster utilization", §3.2); this flag exists for the ablation.
+	StrictFCFS bool
+	// CostBenefit optionally gates rescales on application progress.
+	CostBenefit *CostBenefit
+	// EnableLog records every scheduling decision for retrieval via
+	// Scheduler.Log — the audit trail operators want when a rescale storm
+	// needs explaining.
+	EnableLog bool
+}
+
+// Scheduler implements the priority-based elastic policy and its baselines.
+// It is not goroutine-safe; callers (simulator event loop, operator
+// reconcile queue) serialize access.
+type Scheduler struct {
+	cfg Config
+	act Actuator
+	now func() time.Time
+
+	running []*Job
+	queued  []*Job
+	free    int
+	log     []Decision
+}
+
+// NewScheduler creates a scheduler over an empty cluster with the given
+// capacity. now supplies the current time (virtual or real).
+func NewScheduler(cfg Config, act Actuator, now func() time.Time) (*Scheduler, error) {
+	if cfg.Capacity < 1 {
+		return nil, fmt.Errorf("core: capacity %d < 1", cfg.Capacity)
+	}
+	if act == nil || now == nil {
+		return nil, fmt.Errorf("core: actuator and clock are required")
+	}
+	if cfg.Policy == Moldable && cfg.RescaleGap < time.Duration(math.MaxInt64) {
+		// Moldable = elastic that never rescales (paper §4.3.2).
+		cfg.RescaleGap = time.Duration(math.MaxInt64)
+	}
+	return &Scheduler{cfg: cfg, act: act, now: now, free: cfg.Capacity}, nil
+}
+
+// FreeSlots reports the scheduler's current free-slot count.
+func (s *Scheduler) FreeSlots() int { return s.free }
+
+// Running returns the running jobs in decreasing priority order.
+func (s *Scheduler) Running() []*Job { return append([]*Job(nil), s.running...) }
+
+// Queued returns the queued jobs in decreasing priority order.
+func (s *Scheduler) Queued() []*Job { return append([]*Job(nil), s.queued...) }
+
+// Utilization reports the fraction of capacity currently allocated to
+// workers (launcher overhead counts as used capacity).
+func (s *Scheduler) Utilization() float64 {
+	return float64(s.cfg.Capacity-s.free) / float64(s.cfg.Capacity)
+}
+
+// effPriority computes a job's effective priority including aging.
+func (s *Scheduler) effPriority(j *Job) float64 {
+	p := float64(j.Priority)
+	if s.cfg.AgingRate > 0 && j.State == StateQueued {
+		p += s.cfg.AgingRate * s.now().Sub(j.SubmitTime).Seconds()
+	}
+	return p
+}
+
+func (s *Scheduler) sortRunning() { sortByPriority(s.running, s.effPriority) }
+func (s *Scheduler) sortQueued()  { sortByPriority(s.queued, s.effPriority) }
+
+// gapOK reports whether the job is outside its rescale gap (the pseudocode's
+// `currentTime() - j.lastAction < rescaleGap → continue`). Queued jobs have
+// no last action and are always eligible for creation.
+func (s *Scheduler) gapOK(j *Job) bool {
+	if j.LastAction.IsZero() {
+		return true
+	}
+	if s.cfg.RescaleGap == time.Duration(math.MaxInt64) {
+		return false // moldable: never rescale after creation
+	}
+	return s.now().Sub(j.LastAction) >= s.cfg.RescaleGap
+}
+
+// costBenefitOK reports whether the cost/benefit gate allows rescaling j.
+func (s *Scheduler) costBenefitOK(j *Job, newReplicas int) bool {
+	cb := s.cfg.CostBenefit
+	if cb == nil {
+		return true
+	}
+	if cb.Progress != nil && cb.MinRemainingFraction > 0 {
+		if 1-cb.Progress(j) < cb.MinRemainingFraction {
+			return false
+		}
+	}
+	if newReplicas > j.Replicas && cb.MinExpandGain > 0 {
+		if newReplicas-j.Replicas < cb.MinExpandGain {
+			return false
+		}
+	}
+	return true
+}
+
+// effective min/max replicas under the policy: the rigid baselines pin both
+// bounds to one value ("The rigid job schedulers are emulated by setting the
+// same value for min_replicas and max_replicas for all jobs", §4.3.2).
+func (s *Scheduler) bounds(j *Job) (minR, maxR int) {
+	switch s.cfg.Policy {
+	case RigidMin:
+		return j.MinReplicas, j.MinReplicas
+	case RigidMax:
+		return j.MaxReplicas, j.MaxReplicas
+	default:
+		return j.MinReplicas, j.MaxReplicas
+	}
+}
+
+// start launches j with the given replica count and updates accounting.
+func (s *Scheduler) start(j *Job, replicas int) bool {
+	if err := s.act.StartJob(j, replicas); err != nil {
+		return false
+	}
+	j.State = StateRunning
+	j.Replicas = replicas
+	now := s.now()
+	j.LastAction = now
+	if j.StartTime.IsZero() {
+		j.StartTime = now
+	}
+	s.free -= replicas + s.cfg.JobOverheadSlots
+	s.running = append(s.running, j)
+	s.sortRunning()
+	s.record(DecisionStart, j)
+	return true
+}
+
+// shrink rescales a running job down and updates accounting.
+func (s *Scheduler) shrink(j *Job, to int) bool {
+	if !s.costBenefitOK(j, to) {
+		return false
+	}
+	if err := s.act.ShrinkJob(j, to); err != nil {
+		return false
+	}
+	s.free += j.Replicas - to
+	j.Replicas = to
+	j.LastAction = s.now()
+	j.Rescales++
+	s.record(DecisionShrink, j)
+	return true
+}
+
+// expand rescales a running job up and updates accounting.
+func (s *Scheduler) expand(j *Job, to int) bool {
+	if !s.costBenefitOK(j, to) {
+		return false
+	}
+	if err := s.act.ExpandJob(j, to); err != nil {
+		return false
+	}
+	s.free -= to - j.Replicas
+	j.Replicas = to
+	j.LastAction = s.now()
+	j.Rescales++
+	s.record(DecisionExpand, j)
+	return true
+}
+
+// enqueue places j on the internal priority queue.
+func (s *Scheduler) enqueue(j *Job) {
+	j.State = StateQueued
+	s.queued = append(s.queued, j)
+	s.sortQueued()
+	s.record(DecisionEnqueue, j)
+}
+
+// removeRunning deletes j from the running list.
+func (s *Scheduler) removeRunning(j *Job) {
+	for i, r := range s.running {
+		if r == j {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			return
+		}
+	}
+}
+
+// Submit handles a new job submission (paper Figure 2). For the elastic
+// policy it may shrink lower-priority running jobs to make room; for the
+// baselines the gap checks and pinned bounds reduce it to the corresponding
+// rigid/moldable behaviour.
+func (s *Scheduler) Submit(j *Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	if j.SubmitTime.IsZero() {
+		j.SubmitTime = s.now()
+	}
+	s.submit(j)
+	return nil
+}
+
+func (s *Scheduler) submit(job *Job) {
+	minR, maxR := s.bounds(job)
+	overhead := s.cfg.JobOverheadSlots
+
+	// replicas = min(freeSlots - overhead, job.maxReplicas)
+	replicas := s.free - overhead
+	if replicas > maxR {
+		replicas = maxR
+	}
+	if replicas >= minR {
+		if s.start(job, replicas) {
+			return
+		}
+		s.enqueue(job)
+		return
+	}
+
+	// Feasibility pass (Figure 2, first loop): walk running jobs from the
+	// lowest priority upward, counting how many slots shrinking them to
+	// their minimum could free. Stop at jobs with priority above the new
+	// job's. No actuation happens in this pass.
+	numToFree := minR - s.free + overhead
+	for i := len(s.running) - 1; i >= 0 && numToFree > 0; i-- {
+		j := s.running[i]
+		if !s.gapOK(j) {
+			continue
+		}
+		if s.effPriority(j) > s.effPriority(job) {
+			break
+		}
+		jmin, _ := s.bounds(j)
+		if j.Replicas > jmin {
+			newReplicas := j.Replicas - numToFree
+			if newReplicas < jmin {
+				newReplicas = jmin
+			}
+			numToFree -= j.Replicas - newReplicas
+		}
+	}
+	if numToFree > 0 {
+		// Shrinking cannot make room; optionally try preemption, else
+		// queue the job.
+		if s.cfg.EnablePreemption && s.tryPreempt(job, minR, overhead) {
+			s.submit(job) // room was made; re-run placement
+			return
+		}
+		s.enqueue(job)
+		return
+	}
+
+	// Actuation pass (Figure 2, second loop): free as many slots as would
+	// let the new job run at its maximum, shrinking from the lowest
+	// priority upward.
+	minToFree := minR - s.free + overhead
+	maxToFree := maxR - s.free + overhead
+	for i := len(s.running) - 1; i >= 0 && maxToFree > 0; i-- {
+		j := s.running[i]
+		if !s.gapOK(j) {
+			continue
+		}
+		if s.effPriority(j) > s.effPriority(job) {
+			break
+		}
+		jmin, _ := s.bounds(j)
+		if j.Replicas > jmin {
+			newReplicas := j.Replicas - maxToFree
+			if newReplicas < jmin {
+				newReplicas = jmin
+			}
+			oldReplicas := j.Replicas
+			if s.shrink(j, newReplicas) {
+				freed := oldReplicas - newReplicas
+				minToFree -= freed
+				maxToFree -= freed
+			}
+		}
+	}
+	if minToFree > 0 {
+		s.enqueue(job)
+		return
+	}
+	replicas = s.free - overhead
+	if replicas > maxR {
+		replicas = maxR
+	}
+	if replicas < minR || !s.start(job, replicas) {
+		s.enqueue(job)
+	}
+}
+
+// tryPreempt checkpoints-and-stops strictly lower priority running jobs
+// (lowest first) until minR+overhead slots are free or no candidates remain.
+// Preempted jobs return to the queue and resume from their checkpoint when
+// scheduled again (paper §3.2.2).
+func (s *Scheduler) tryPreempt(job *Job, minR, overhead int) bool {
+	for i := len(s.running) - 1; i >= 0 && s.free < minR+overhead; i-- {
+		j := s.running[i]
+		if s.effPriority(j) >= s.effPriority(job) {
+			break
+		}
+		if err := s.act.PreemptJob(j); err != nil {
+			continue
+		}
+		s.free += j.Replicas + s.cfg.JobOverheadSlots
+		j.Replicas = 0
+		j.State = StatePreempted
+		j.LastAction = s.now()
+		s.removeRunning(j)
+		s.queued = append(s.queued, j)
+		s.sortQueued()
+		s.record(DecisionPreempt, j)
+	}
+	return s.free >= minR+overhead
+}
+
+// OnJobComplete handles a job finishing (paper Figure 3): its slots are
+// redistributed to running and queued jobs in decreasing priority order —
+// expanding running jobs below their max and starting queued jobs.
+func (s *Scheduler) OnJobComplete(j *Job) {
+	if j.State != StateRunning {
+		return
+	}
+	j.State = StateCompleted
+	j.EndTime = s.now()
+	s.removeRunning(j)
+
+	// freeWorkers(job): slots released by the finished job.
+	numWorkers := j.Replicas + s.cfg.JobOverheadSlots
+	j.Replicas = 0
+	s.free += numWorkers
+	s.record(DecisionComplete, j)
+	s.redistribute()
+}
+
+// Kick re-runs the redistribution pass (Figure 3's loop) without a
+// completion event — used by the aging extension, where queue priorities
+// change over time, and by operators after failed actuations.
+func (s *Scheduler) Kick() { s.redistribute() }
+
+// Reschedule re-evaluates the whole cluster: every queued job is re-placed
+// through the Figure 2 submission logic (so a high-priority job that was
+// blocked by rescale gaps can now shrink lower-priority jobs), then the
+// Figure 3 redistribution expands running jobs into any remaining free
+// slots. Drivers call this when a rescale gap expires — the simulator via a
+// timer event, the operator via its requeue-after reconcile loop.
+func (s *Scheduler) Reschedule() {
+	queued := append([]*Job(nil), s.queued...)
+	sortByPriority(queued, s.effPriority)
+	for _, j := range queued {
+		s.dequeue(j)
+		s.submit(j)
+	}
+	s.redistribute()
+}
+
+// NextGapExpiry returns the earliest future instant at which a rescale that
+// is currently blocked only by T_rescale_gap becomes possible: an expansion
+// of a below-max running job into free slots, or a shrink of an above-min
+// running job on behalf of a queued job. ok is false when no such moment
+// exists (nothing blocked, or the policy never rescales).
+func (s *Scheduler) NextGapExpiry() (at time.Time, ok bool) {
+	if s.cfg.RescaleGap == time.Duration(math.MaxInt64) {
+		return time.Time{}, false // moldable: gaps never expire
+	}
+	now := s.now()
+	for _, j := range s.running {
+		minR, maxR := s.bounds(j)
+		expandable := s.free > 0 && j.Replicas < maxR
+		shrinkable := len(s.queued) > 0 && j.Replicas > minR
+		if !expandable && !shrinkable {
+			continue
+		}
+		if s.gapOK(j) {
+			continue // not gap-blocked; a plain Kick already had its chance
+		}
+		exp := j.LastAction.Add(s.cfg.RescaleGap)
+		if exp.After(now) && (!ok || exp.Before(at)) {
+			at, ok = exp, true
+		}
+	}
+	return at, ok
+}
+
+// redistribute walks all running and queued jobs in decreasing priority
+// order, growing each below-max job as far as free slots allow (Figure 3).
+func (s *Scheduler) redistribute() {
+	if s.cfg.AgingRate > 0 {
+		s.sortQueued()
+	}
+	// allJobs: running + queued, sorted in decreasing priority.
+	all := make([]*Job, 0, len(s.running)+len(s.queued))
+	all = append(all, s.running...)
+	all = append(all, s.queued...)
+	sortByPriority(all, s.effPriority)
+
+	for _, j := range all {
+		if s.free <= 0 {
+			break
+		}
+		jmin, jmax := s.bounds(j)
+		switch j.State {
+		case StateRunning:
+			if !s.gapOK(j) {
+				continue
+			}
+			if j.Replicas < jmax {
+				add := jmax - j.Replicas
+				if add > s.free {
+					add = s.free
+				}
+				if j.Replicas+add >= jmin && add > 0 {
+					s.expand(j, j.Replicas+add)
+				}
+			}
+		case StateQueued, StatePreempted:
+			avail := s.free - s.cfg.JobOverheadSlots
+			if avail < jmin {
+				if s.cfg.StrictFCFS {
+					return // no backfilling past the queue head
+				}
+				continue
+			}
+			replicas := avail
+			if replicas > jmax {
+				replicas = jmax
+			}
+			if s.start(j, replicas) {
+				s.dequeue(j)
+			}
+		}
+	}
+}
+
+// dequeue removes j from the queued list.
+func (s *Scheduler) dequeue(j *Job) {
+	for i, q := range s.queued {
+		if q == j {
+			s.queued = append(s.queued[:i], s.queued[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package k8s
+
+import "time"
+
+// Kubelet models the node agents: once the scheduler binds a pod, the
+// kubelet pulls the image, creates the container, and reports Running after
+// a startup delay. Deleting a pod's object releases its resources
+// immediately (we fold graceful termination into the startup budget).
+type Kubelet struct {
+	loop  Loop
+	store *Store
+	// StartupDelay is bind→Running latency (image pull + container
+	// create). The paper excludes operator/pod startup from simulation
+	// but the emulation pays it, as the real EKS runs did.
+	StartupDelay time.Duration
+	// Started counts pods this kubelet transitioned to Running.
+	Started int
+}
+
+// NewKubelet creates the kubelet and subscribes it to pod events.
+func NewKubelet(loop Loop, store *Store, startupDelay time.Duration) *Kubelet {
+	k := &Kubelet{loop: loop, store: store, StartupDelay: startupDelay}
+	store.Subscribe(KindPod, func(ev Event) {
+		if ev.Type == Deleted {
+			return
+		}
+		pod := ev.Object.(*Pod)
+		if pod.Spec.NodeName != "" && pod.Status.Phase == PodPending {
+			key := pod.Key()
+			version := pod.ResourceVersion
+			loop.At(k.StartupDelay, func() { k.start(key, version) })
+		}
+	})
+	return k
+}
+
+// start transitions a bound pod to Running unless it changed or vanished in
+// the meantime.
+func (k *Kubelet) start(key string, version int64) {
+	obj, ok := k.store.Get(KindPod, key)
+	if !ok {
+		return
+	}
+	pod := obj.(*Pod)
+	if pod.Status.Phase != PodPending || pod.Spec.NodeName == "" || pod.ResourceVersion != version {
+		return
+	}
+	pod.Status.Phase = PodRunning
+	pod.Status.StartTime = k.loop.Now()
+	_ = k.store.Update(pod)
+	k.Started++
+}
+
+// MarkSucceeded transitions all pods matching the selector to Succeeded,
+// releasing their node resources. Used when a job's application exits.
+func MarkSucceeded(store *Store, selector map[string]string) int {
+	n := 0
+	for _, pod := range store.Pods(selector) {
+		if pod.Status.Phase == PodSucceeded {
+			continue
+		}
+		pod.Status.Phase = PodSucceeded
+		if err := store.Update(pod); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// MarkFailed transitions all pods matching the selector to Failed (e.g. the
+// node they ran on crashed), releasing their node resources.
+func MarkFailed(store *Store, selector map[string]string) int {
+	n := 0
+	for _, pod := range store.Pods(selector) {
+		if pod.Status.Phase == PodFailed || pod.Status.Phase == PodSucceeded {
+			continue
+		}
+		pod.Status.Phase = PodFailed
+		if err := store.Update(pod); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// FailPodsOnNode marks every non-terminal pod bound to the node as Failed,
+// simulating a node crash. Returns the number of pods failed.
+func FailPodsOnNode(store *Store, node string) int {
+	n := 0
+	for _, pod := range store.Pods(nil) {
+		if pod.Spec.NodeName != node || pod.Status.Phase == PodSucceeded || pod.Status.Phase == PodFailed {
+			continue
+		}
+		pod.Status.Phase = PodFailed
+		if err := store.Update(pod); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// DeletePods removes all pods matching the selector and returns the count.
+func DeletePods(store *Store, selector map[string]string) int {
+	n := 0
+	for _, pod := range store.Pods(selector) {
+		if err := store.Delete(KindPod, pod.Key()); err == nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,143 @@
+package k8s
+
+import (
+	"sort"
+)
+
+// PodScheduler is the kube-scheduler analogue: it watches for pending pods
+// and binds them to nodes using a filter/score pipeline. The paper uses the
+// default kube-scheduler with pod affinity added by the operator for
+// locality-aware placement (§3.1); the scoring below models that pipeline:
+// feasibility filtering on CPU, then affinity packing (prefer nodes already
+// hosting pods of the same job) with bin-packing as the tie-break.
+type PodScheduler struct {
+	store *Store
+	queue *Workqueue
+	// FailedBindings counts pods that could not be placed on any node;
+	// they stay Pending and are retried on the next cluster change.
+	FailedBindings int
+	unschedulable  map[string]bool
+}
+
+// NewPodScheduler creates the scheduler and subscribes it to pod and node
+// events.
+func NewPodScheduler(loop Loop, store *Store) *PodScheduler {
+	ps := &PodScheduler{store: store, unschedulable: make(map[string]bool)}
+	ps.queue = NewWorkqueue(loop, ps.schedule)
+	store.Subscribe(KindPod, func(ev Event) {
+		pod := ev.Object.(*Pod)
+		switch ev.Type {
+		case Added, Modified:
+			if pod.Spec.NodeName == "" && pod.Status.Phase == PodPending {
+				ps.queue.Add(pod.Key())
+			}
+			// A pod reaching a terminal phase releases capacity.
+			if pod.Status.Phase == PodSucceeded || pod.Status.Phase == PodFailed {
+				ps.retryUnschedulable()
+			}
+		case Deleted:
+			delete(ps.unschedulable, pod.Key())
+			ps.retryUnschedulable()
+		}
+	})
+	store.Subscribe(KindNode, func(ev Event) { ps.retryUnschedulable() })
+	return ps
+}
+
+// retryUnschedulable requeues pods that previously failed to place; capacity
+// may have been freed.
+func (ps *PodScheduler) retryUnschedulable() {
+	keys := make([]string, 0, len(ps.unschedulable))
+	for k := range ps.unschedulable {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ps.queue.Add(k)
+	}
+}
+
+// nodeFreeCPU computes each node's unallocated CPU from bound, non-terminal
+// pods.
+func (ps *PodScheduler) nodeFreeCPU() map[string]int {
+	free := make(map[string]int)
+	for _, n := range ps.store.Nodes() {
+		free[n.Name] = n.CapacityCPU
+	}
+	for _, p := range ps.store.Pods(nil) {
+		if p.Spec.NodeName == "" || p.Status.Phase == PodSucceeded || p.Status.Phase == PodFailed {
+			continue
+		}
+		free[p.Spec.NodeName] -= p.Spec.CPU
+	}
+	return free
+}
+
+// schedule runs the filter/score pipeline for one pending pod.
+func (ps *PodScheduler) schedule(key string) {
+	obj, ok := ps.store.Get(KindPod, key)
+	if !ok {
+		delete(ps.unschedulable, key)
+		return
+	}
+	pod := obj.(*Pod)
+	if pod.Spec.NodeName != "" || pod.Status.Phase != PodPending {
+		delete(ps.unschedulable, key)
+		return
+	}
+
+	free := ps.nodeFreeCPU()
+	affinity := ps.affinityCounts(pod.Spec.AffinityKey)
+
+	type candidate struct {
+		name  string
+		score int
+		free  int
+	}
+	var cands []candidate
+	for _, n := range ps.store.Nodes() {
+		f := free[n.Name]
+		if f < pod.Spec.CPU {
+			continue // filter: insufficient CPU
+		}
+		// Score: affinity dominates (pods of the same job pack
+		// together for communication locality), then bin-packing
+		// (prefer fuller nodes so large jobs find whole free nodes).
+		score := affinity[n.Name]*1000 - f
+		cands = append(cands, candidate{name: n.Name, score: score, free: f})
+	}
+	if len(cands) == 0 {
+		ps.unschedulable[key] = true
+		ps.FailedBindings++
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].name < cands[j].name
+	})
+	delete(ps.unschedulable, key)
+
+	pod.Spec.NodeName = cands[0].name
+	if err := ps.store.Update(pod); err != nil {
+		// The pod vanished between Get and Update; it will be retried
+		// if it reappears.
+		ps.unschedulable[key] = true
+	}
+}
+
+// affinityCounts counts pods per node sharing the affinity key.
+func (ps *PodScheduler) affinityCounts(key string) map[string]int {
+	counts := make(map[string]int)
+	if key == "" {
+		return counts
+	}
+	for _, p := range ps.store.Pods(nil) {
+		if p.Spec.AffinityKey == key && p.Spec.NodeName != "" &&
+			p.Status.Phase != PodSucceeded && p.Status.Phase != PodFailed {
+			counts[p.Spec.NodeName]++
+		}
+	}
+	return counts
+}

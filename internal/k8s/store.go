@@ -1,0 +1,208 @@
+package k8s
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Store is the API server's object store: versioned CRUD plus watch
+// subscriptions. Subscribers are notified via Loop.Defer, so handlers always
+// run after the mutation that triggered them completes — the same
+// eventual-consistency shape informers give real controllers.
+type Store struct {
+	loop    Loop
+	items   map[Kind]map[string]Object
+	version int64
+	uid     int64
+	subs    map[Kind][]func(Event)
+}
+
+// NewStore creates an empty store bound to the loop.
+func NewStore(loop Loop) *Store {
+	return &Store{
+		loop:  loop,
+		items: make(map[Kind]map[string]Object),
+		subs:  make(map[Kind][]func(Event)),
+	}
+}
+
+// Subscribe registers fn for all changes to the kind. Events fire in
+// mutation order.
+func (s *Store) Subscribe(kind Kind, fn func(Event)) {
+	s.subs[kind] = append(s.subs[kind], fn)
+}
+
+func (s *Store) notify(kind Kind, ev Event) {
+	for _, fn := range s.subs[kind] {
+		fn := fn
+		s.loop.Defer(func() { fn(ev) })
+	}
+}
+
+func (s *Store) bucket(kind Kind) map[string]Object {
+	b, ok := s.items[kind]
+	if !ok {
+		b = make(map[string]Object)
+		s.items[kind] = b
+	}
+	return b
+}
+
+// Create inserts a new object. The stored copy gets a fresh UID, resource
+// version, and creation timestamp.
+func (s *Store) Create(obj Object) error {
+	b := s.bucket(obj.Kind())
+	key := obj.Meta().Key()
+	if _, exists := b[key]; exists {
+		return fmt.Errorf("k8s: %s %q already exists", obj.Kind(), key)
+	}
+	s.version++
+	s.uid++
+	cp := obj.DeepCopy()
+	m := cp.Meta()
+	m.UID = s.uid
+	m.ResourceVersion = s.version
+	m.CreationTimestamp = s.loop.Now()
+	b[key] = cp
+	s.notify(obj.Kind(), Event{Type: Added, Object: cp.DeepCopy()})
+	return nil
+}
+
+// Update replaces an existing object, bumping its resource version.
+func (s *Store) Update(obj Object) error {
+	b := s.bucket(obj.Kind())
+	key := obj.Meta().Key()
+	old, exists := b[key]
+	if !exists {
+		return fmt.Errorf("k8s: %s %q not found", obj.Kind(), key)
+	}
+	s.version++
+	cp := obj.DeepCopy()
+	m := cp.Meta()
+	m.UID = old.Meta().UID
+	m.CreationTimestamp = old.Meta().CreationTimestamp
+	m.ResourceVersion = s.version
+	b[key] = cp
+	s.notify(obj.Kind(), Event{Type: Modified, Object: cp.DeepCopy()})
+	return nil
+}
+
+// Delete removes the object with the given kind and key.
+func (s *Store) Delete(kind Kind, key string) error {
+	b := s.bucket(kind)
+	old, exists := b[key]
+	if !exists {
+		return fmt.Errorf("k8s: %s %q not found", kind, key)
+	}
+	delete(b, key)
+	s.version++
+	s.notify(kind, Event{Type: Deleted, Object: old.DeepCopy()})
+	return nil
+}
+
+// Get fetches a copy of the object, reporting whether it exists.
+func (s *Store) Get(kind Kind, key string) (Object, bool) {
+	obj, ok := s.bucket(kind)[key]
+	if !ok {
+		return nil, false
+	}
+	return obj.DeepCopy(), true
+}
+
+// List returns copies of all objects of the kind, sorted by key for
+// determinism.
+func (s *Store) List(kind Kind) []Object {
+	b := s.bucket(kind)
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Object, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, b[k].DeepCopy())
+	}
+	return out
+}
+
+// Pods returns all pods, optionally filtered by a label selector.
+func (s *Store) Pods(selector map[string]string) []*Pod {
+	var out []*Pod
+	for _, obj := range s.List(KindPod) {
+		p := obj.(*Pod)
+		if matchLabels(p.Labels, selector) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Nodes returns all nodes.
+func (s *Store) Nodes() []*Node {
+	var out []*Node
+	for _, obj := range s.List(KindNode) {
+		out = append(out, obj.(*Node))
+	}
+	return out
+}
+
+func matchLabels(labels, selector map[string]string) bool {
+	for k, v := range selector {
+		if labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Workqueue is a deduplicating FIFO of reconcile keys, the controller
+// pattern's core data structure.
+type Workqueue struct {
+	loop    Loop
+	pending map[string]bool
+	order   []string
+	handler func(key string)
+	armed   bool
+}
+
+// NewWorkqueue creates a queue that feeds keys to handler on the loop.
+func NewWorkqueue(loop Loop, handler func(key string)) *Workqueue {
+	return &Workqueue{loop: loop, pending: make(map[string]bool), handler: handler}
+}
+
+// Add enqueues a key; duplicates collapse while queued.
+func (q *Workqueue) Add(key string) {
+	if q.pending[key] {
+		return
+	}
+	q.pending[key] = true
+	q.order = append(q.order, key)
+	q.arm()
+}
+
+// AddAfter enqueues the key after the delay (requeue-with-backoff analogue).
+func (q *Workqueue) AddAfter(key string, d time.Duration) {
+	q.loop.At(d, func() { q.Add(key) })
+}
+
+func (q *Workqueue) arm() {
+	if q.armed || len(q.order) == 0 {
+		return
+	}
+	q.armed = true
+	q.loop.Defer(q.drain)
+}
+
+func (q *Workqueue) drain() {
+	q.armed = false
+	for len(q.order) > 0 {
+		key := q.order[0]
+		q.order = q.order[1:]
+		delete(q.pending, key)
+		q.handler(key)
+	}
+}
+
+// Len reports queued keys.
+func (q *Workqueue) Len() int { return len(q.order) }

@@ -1,0 +1,208 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecsMatchPaper(t *testing.T) {
+	specs := Specs()
+	cases := []struct {
+		c                   Class
+		grid, steps, mn, mx int
+	}{
+		{Small, 512, 40000, 2, 8},
+		{Medium, 2048, 40000, 4, 16},
+		{Large, 8192, 40000, 8, 32},
+		{XLarge, 16384, 10000, 16, 64},
+	}
+	for _, tc := range cases {
+		s := specs[tc.c]
+		if s.Grid != tc.grid || s.Steps != tc.steps || s.MinReplicas != tc.mn || s.MaxReplicas != tc.mx {
+			t.Errorf("%v spec = %+v", tc.c, s)
+		}
+	}
+	if len(AllClasses()) != 4 {
+		t.Error("AllClasses length")
+	}
+	for _, c := range append(AllClasses(), Class(9)) {
+		if c.String() == "" {
+			t.Errorf("Class(%d) has empty name", c)
+		}
+	}
+}
+
+func TestIterTimeDecreasesWithReplicas(t *testing.T) {
+	m := DefaultMachine()
+	for _, n := range []int{512, 2048, 8192, 16384} {
+		prev := math.Inf(1)
+		for _, p := range []int{2, 4, 8, 16, 32, 64} {
+			it := m.IterTime(n, p)
+			if it <= 0 {
+				t.Fatalf("IterTime(%d,%d) = %g", n, p, it)
+			}
+			if it >= prev {
+				t.Errorf("IterTime(%d,%d) = %g did not improve on %g", n, p, it, prev)
+			}
+			prev = it
+		}
+	}
+}
+
+func TestLargerProblemsScaleBetter(t *testing.T) {
+	// Figure 4a shape: parallel efficiency at high replica counts is
+	// better for larger grids.
+	m := DefaultMachine()
+	effSmall := m.IterTime(512, 2) * 2 / (m.IterTime(512, 64) * 64)
+	effLarge := m.IterTime(16384, 2) * 2 / (m.IterTime(16384, 64) * 64)
+	if effLarge <= effSmall {
+		t.Errorf("large-grid efficiency %g <= small-grid %g", effLarge, effSmall)
+	}
+}
+
+func TestJobRuntimeMatchesIterTime(t *testing.T) {
+	m := DefaultMachine()
+	spec := Specs()[Medium]
+	want := float64(spec.Steps) * m.IterTime(spec.Grid, 8)
+	if got := m.JobRuntime(spec, 8); got != want {
+		t.Errorf("JobRuntime = %g, want %g", got, want)
+	}
+}
+
+func TestParallelEfficiencyAtMinIsOne(t *testing.T) {
+	m := DefaultMachine()
+	for _, spec := range Specs() {
+		eff := m.ParallelEfficiency(spec, spec.MinReplicas)
+		if math.Abs(eff-1) > 1e-12 {
+			t.Errorf("%v efficiency at min = %g", spec.Class, eff)
+		}
+		if effMax := m.ParallelEfficiency(spec, spec.MaxReplicas); effMax >= 1 {
+			t.Errorf("%v efficiency at max = %g, want < 1", spec.Class, effMax)
+		}
+	}
+}
+
+func TestRescaleOverheadShapes(t *testing.T) {
+	m := DefaultMachine()
+	// Fig 5a: shrink to half from increasing replica counts — restart
+	// grows with rank count, checkpoint/restore shrink, LB flat.
+	var prevRestart, prevCkpt, prevLB float64
+	for i, p := range []int{4, 8, 16, 32, 64} {
+		ph := m.RescaleOverhead(8192, p, p/2)
+		if i > 0 {
+			if ph.Restart <= prevRestart {
+				t.Errorf("restart at p=%d (%g) did not grow from %g", p, ph.Restart, prevRestart)
+			}
+			if ph.Checkpoint >= prevCkpt {
+				t.Errorf("checkpoint at p=%d did not shrink: %g >= %g", p, ph.Checkpoint, prevCkpt)
+			}
+			if ph.LoadBalance != prevLB {
+				t.Errorf("LB changed with replicas: %g vs %g", ph.LoadBalance, prevLB)
+			}
+		}
+		prevRestart, prevCkpt, prevLB = ph.Restart, ph.Checkpoint, ph.LoadBalance
+	}
+	// Fig 5c: LB, ckpt, restore grow with problem size; restart flat.
+	small := m.RescaleOverhead(512, 32, 16)
+	big := m.RescaleOverhead(32768, 32, 16)
+	if big.LoadBalance <= small.LoadBalance {
+		t.Error("LB did not grow with problem size")
+	}
+	if big.Checkpoint <= small.Checkpoint || big.Restore <= small.Restore {
+		t.Error("ckpt/restore did not grow with problem size")
+	}
+	if big.Restart != small.Restart {
+		t.Error("restart should be independent of problem size")
+	}
+	// Small problems are dominated by restart (paper: "for small problem
+	// sizes, the overhead is dominated by the restart time").
+	if small.Restart < small.Checkpoint+small.Restore+small.LoadBalance {
+		t.Error("restart does not dominate small-problem overhead")
+	}
+	if tot := small.Total(); tot != small.LoadBalance+small.Checkpoint+small.Restart+small.Restore {
+		t.Errorf("Total = %g", tot)
+	}
+}
+
+func TestCheckpointBytesQuadratic(t *testing.T) {
+	r := CheckpointBytes(1024) / CheckpointBytes(512)
+	if math.Abs(r-4) > 1e-9 {
+		t.Errorf("doubling grid changed bytes by %gx, want 4x", r)
+	}
+}
+
+func TestCurveInterpolation(t *testing.T) {
+	c, err := NewCurve(map[float64]float64{1: 10, 3: 30, 10: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0, 10},   // clamp left
+		{1, 10},   // exact
+		{2, 20},   // interior
+		{3, 30},   // exact
+		{6.5, 65}, // interior
+		{10, 100}, // exact
+		{99, 100}, // clamp right
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("At(%g) = %g, want %g", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestNewCurveEmpty(t *testing.T) {
+	if _, err := NewCurve(nil); err == nil {
+		t.Error("NewCurve accepted empty point set")
+	}
+}
+
+func TestSampleIterTimeMatchesModelAtSamples(t *testing.T) {
+	m := DefaultMachine()
+	c := m.SampleIterTime(2048, []int{2, 4, 8, 16, 32})
+	for _, p := range []int{2, 4, 8, 16, 32} {
+		if got, want := c.At(float64(p)), m.IterTime(2048, p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("curve at %d = %g, want %g", p, got, want)
+		}
+	}
+	// Interpolated values lie between the bracketing samples.
+	v := c.At(12)
+	if v <= m.IterTime(2048, 16) || v >= m.IterTime(2048, 8) {
+		t.Errorf("interpolation at 12 out of range: %g", v)
+	}
+}
+
+// Property: curve interpolation is monotone between any two sampled points
+// of a monotone function.
+func TestQuickCurveWithinEnvelope(t *testing.T) {
+	m := DefaultMachine()
+	c := m.SampleIterTime(8192, []int{2, 4, 8, 16, 32, 64})
+	lo, hi := m.IterTime(8192, 64), m.IterTime(8192, 2)
+	f := func(x float64) bool {
+		x = math.Abs(x)
+		v := c.At(x)
+		return v >= lo-1e-15 && v <= hi+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDuration(t *testing.T) {
+	if Duration(1.5).Seconds() != 1.5 {
+		t.Errorf("Duration(1.5) = %v", Duration(1.5))
+	}
+}
+
+func TestIterTimeSerialHasNoComm(t *testing.T) {
+	m := DefaultMachine()
+	want := float64(512*512) / m.CellRate
+	if got := m.IterTime(512, 1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("serial iter time %g, want %g (no comm term)", got, want)
+	}
+	if got := m.IterTime(512, 0); got != want {
+		t.Errorf("p=0 clamps to 1: got %g", got)
+	}
+}

@@ -1,0 +1,508 @@
+// Package sim is the discrete-event scheduling simulator of paper §4.3.1:
+// it replays a stream of malleable-job submissions against the four
+// scheduling policies, modelling job runtimes with the strong-scaling model
+// and charging the four-phase rescale overhead on every shrink/expand. It
+// reports the paper's four metrics: total time, cluster utilization,
+// weighted mean response time, and weighted mean completion time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"elastichpc/internal/core"
+	"elastichpc/internal/model"
+)
+
+// JobSpec is one simulated job submission.
+type JobSpec struct {
+	ID       string
+	Class    model.Class
+	Priority int
+	SubmitAt float64 // seconds from experiment start
+}
+
+// Workload is a reproducible job set.
+type Workload struct {
+	Jobs []JobSpec
+}
+
+// RandomWorkload draws n jobs uniformly from the four classes with uniform
+// priorities in [1,5], submitted gap seconds apart (paper §4.3.1: "We pick
+// 16 jobs randomly out of these 4 sizes with random priorities between 1
+// and 5").
+func RandomWorkload(n int, gap float64, seed int64) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	classes := model.AllClasses()
+	var w Workload
+	for i := 0; i < n; i++ {
+		w.Jobs = append(w.Jobs, JobSpec{
+			ID:       fmt.Sprintf("job-%02d", i),
+			Class:    classes[rng.Intn(len(classes))],
+			Priority: 1 + rng.Intn(5),
+			SubmitAt: float64(i) * gap,
+		})
+	}
+	return w
+}
+
+// WithGap returns a copy of the workload with submissions respaced to the
+// given gap, preserving classes and priorities — used by the submission-gap
+// sweep so that all points share one job mix.
+func (w Workload) WithGap(gap float64) Workload {
+	out := Workload{Jobs: append([]JobSpec(nil), w.Jobs...)}
+	for i := range out.Jobs {
+		out.Jobs[i].SubmitAt = float64(i) * gap
+	}
+	return out
+}
+
+// JobMetrics is the per-job outcome.
+type JobMetrics struct {
+	ID             string
+	Class          model.Class
+	Priority       int
+	Replicas       int // final replica count
+	SubmitAt       float64
+	StartAt        float64
+	EndAt          float64
+	Rescales       int
+	OverheadSec    float64 // total rescale overhead charged
+	ResponseTime   float64
+	CompletionTime float64
+}
+
+// UtilSample is one step of the cluster-utilization timeline.
+type UtilSample struct {
+	At   float64 // seconds
+	Used int     // allocated worker slots
+}
+
+// ReplicaSample records a job's replica count change (Figure 9b).
+type ReplicaSample struct {
+	At       float64
+	Replicas int
+}
+
+// Result aggregates one simulation run.
+type Result struct {
+	Policy core.Policy
+	// TotalTime is "the end-to-end runtime from the start of the first
+	// job to the end of the last job".
+	TotalTime float64
+	// Utilization is the time-averaged fraction of slots in use over
+	// the experiment duration.
+	Utilization float64
+	// WeightedResponse and WeightedCompletion are priority-weighted means.
+	WeightedResponse   float64
+	WeightedCompletion float64
+	Jobs               []JobMetrics
+	UtilTimeline       []UtilSample
+	ReplicaTimelines   map[string][]ReplicaSample
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	Policy     core.Policy
+	Capacity   int     // worker slots (64 in the paper)
+	RescaleGap float64 // seconds (T_rescale_gap)
+	Machine    model.Machine
+	// Extensions (all default off, matching the paper's §3.2.1 policy).
+	JobOverheadSlots int
+	AgingRate        float64
+	EnablePreemption bool
+	StrictFCFS       bool
+	CostBenefit      *core.CostBenefit
+}
+
+// DefaultConfig matches the paper's evaluation setup.
+func DefaultConfig(p core.Policy) Config {
+	return Config{Policy: p, Capacity: 64, RescaleGap: 180, Machine: model.DefaultMachine()}
+}
+
+// event kinds in the DES queue.
+type evKind int
+
+const (
+	evSubmit evKind = iota
+	evComplete
+	evKick // a rescale gap expired: re-run the scheduling pass
+)
+
+type event struct {
+	at   float64
+	kind evKind
+	job  *simJob
+	seq  int64 // completion-event validity token
+	ord  int64 // FIFO tie-break for equal timestamps
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].ord < h[j].ord
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// simJob tracks a job's simulated execution state.
+type simJob struct {
+	spec model.Spec
+	job  *core.Job
+	meta JobMetrics
+
+	itersDone   float64
+	lastUpdate  float64 // sim time of the last progress update
+	frozenUntil float64 // rescale overhead window: no progress before this
+	seq         int64   // increments on every reschedule
+	started     bool
+	timeline    []ReplicaSample
+}
+
+// Simulator runs one workload under one policy.
+type Simulator struct {
+	cfg    Config
+	sched  *core.Scheduler
+	events eventHeap
+	ord    int64
+	now    float64
+	jobs   map[string]*simJob
+
+	used     int
+	utilTL   []UtilSample
+	utilArea float64
+	utilLast float64
+	kickAt   float64 // earliest pending kick event time, or -1
+}
+
+// epoch anchors the simulator's float timeline to the core scheduler's
+// time.Time clock.
+var epoch = time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// New creates a simulator for the workload.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.Capacity < 1 {
+		return nil, fmt.Errorf("sim: capacity %d", cfg.Capacity)
+	}
+	s := &Simulator{cfg: cfg, jobs: make(map[string]*simJob), kickAt: -1}
+	if cb := cfg.CostBenefit; cb != nil && cb.Progress == nil {
+		// Wire the gate to the simulator's own progress model so users
+		// only need to set thresholds.
+		wired := *cb
+		wired.Progress = s.progressFraction
+		cfg.CostBenefit = &wired
+	}
+	sched, err := core.NewScheduler(core.Config{
+		Policy:           cfg.Policy,
+		Capacity:         cfg.Capacity,
+		RescaleGap:       model.Duration(cfg.RescaleGap),
+		JobOverheadSlots: cfg.JobOverheadSlots,
+		AgingRate:        cfg.AgingRate,
+		EnablePreemption: cfg.EnablePreemption,
+		StrictFCFS:       cfg.StrictFCFS,
+		CostBenefit:      cfg.CostBenefit,
+	}, (*simActuator)(s), func() time.Time {
+		return epoch.Add(model.Duration(s.now))
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.sched = sched
+	return s, nil
+}
+
+// Run simulates the workload to completion and returns the metrics.
+func (s *Simulator) Run(w Workload) (Result, error) {
+	specs := model.Specs()
+	for _, js := range w.Jobs {
+		spec := specs[js.Class]
+		sj := &simJob{
+			spec: spec,
+			job: &core.Job{
+				ID:          js.ID,
+				Priority:    js.Priority,
+				MinReplicas: spec.MinReplicas,
+				MaxReplicas: spec.MaxReplicas,
+				SubmitTime:  epoch.Add(model.Duration(js.SubmitAt)),
+			},
+			meta: JobMetrics{ID: js.ID, Class: js.Class, Priority: js.Priority, SubmitAt: js.SubmitAt},
+		}
+		if sj.job.MaxReplicas > s.cfg.Capacity {
+			sj.job.MaxReplicas = s.cfg.Capacity
+		}
+		s.jobs[js.ID] = sj
+		s.push(&event{at: js.SubmitAt, kind: evSubmit, job: sj})
+	}
+
+	processed := 0
+	for s.events.Len() > 0 {
+		processed++
+		if processed > 5_000_000 {
+			// Defensive: a finite workload must settle in far fewer
+			// events; fail loudly rather than spin.
+			return Result{}, fmt.Errorf("sim: runaway event loop at t=%.1f: %d running, %d queued, %d heap",
+				s.now, len(s.sched.Running()), len(s.sched.Queued()), s.events.Len())
+		}
+		ev := heap.Pop(&s.events).(*event)
+		if ev.kind == evKick {
+			// Skip superseded kicks, and kicks armed for a moment
+			// beyond the workload's life — before advancing the
+			// clock, so they don't distort the utilization window.
+			if ev.at != s.kickAt {
+				continue
+			}
+			if len(s.sched.Running()) == 0 && len(s.sched.Queued()) == 0 {
+				s.kickAt = -1
+				continue
+			}
+		}
+		s.advanceTo(ev.at)
+		switch ev.kind {
+		case evSubmit:
+			if err := s.sched.Submit(ev.job.job); err != nil {
+				return Result{}, err
+			}
+		case evComplete:
+			if ev.seq != ev.job.seq {
+				continue // stale completion from before a rescale
+			}
+			s.progress(ev.job)
+			// Release the job's workers in the utilization timeline
+			// before the scheduler hands them to other jobs.
+			s.record(-ev.job.job.Replicas, ev.job, 0)
+			ev.job.meta.EndAt = s.now
+			s.sched.OnJobComplete(ev.job.job)
+		case evKick:
+			s.kickAt = -1
+			s.sched.Reschedule()
+		}
+		s.scheduleKick()
+	}
+	return s.collect(w)
+}
+
+// scheduleKick arms a kick event at the next rescale-gap expiry that could
+// unblock a scheduling action, modelling the operator's requeue-driven
+// reconcile loop. A millisecond of slack is added so the float-seconds event
+// time always lands strictly past the scheduler's nanosecond gap deadline.
+func (s *Simulator) scheduleKick() {
+	at, ok := s.sched.NextGapExpiry()
+	if !ok {
+		return
+	}
+	t := at.Sub(epoch).Seconds() + 1e-3
+	if s.kickAt >= 0 && s.kickAt <= t {
+		return // an earlier (or equal) kick is already pending
+	}
+	s.kickAt = t
+	s.push(&event{at: t, kind: evKick})
+}
+
+func (s *Simulator) push(ev *event) {
+	s.ord++
+	ev.ord = s.ord
+	heap.Push(&s.events, ev)
+}
+
+// advanceTo moves simulated time forward, accumulating the utilization
+// integral.
+func (s *Simulator) advanceTo(t float64) {
+	if t < s.now {
+		t = s.now
+	}
+	s.utilArea += float64(s.used) * (t - s.utilLast)
+	s.utilLast = t
+	s.now = t
+}
+
+// progressFraction estimates a job's completed fraction at the current sim
+// time without mutating its state — the default Progress source for the
+// cost/benefit gate.
+func (s *Simulator) progressFraction(j *core.Job) float64 {
+	sj, ok := s.jobs[j.ID]
+	if !ok || sj.spec.Steps == 0 {
+		return 0
+	}
+	done := sj.itersDone
+	from := sj.lastUpdate
+	if sj.frozenUntil > from {
+		from = sj.frozenUntil
+	}
+	if s.now > from && j.Replicas > 0 {
+		done += (s.now - from) / s.cfg.Machine.IterTime(sj.spec.Grid, j.Replicas)
+	}
+	if done > float64(sj.spec.Steps) {
+		done = float64(sj.spec.Steps)
+	}
+	return done / float64(sj.spec.Steps)
+}
+
+// progress brings a job's iteration count up to date at the current time.
+func (s *Simulator) progress(sj *simJob) {
+	from := sj.lastUpdate
+	if sj.frozenUntil > from {
+		from = sj.frozenUntil
+	}
+	if s.now > from && sj.job.Replicas > 0 {
+		iterTime := s.cfg.Machine.IterTime(sj.spec.Grid, sj.job.Replicas)
+		sj.itersDone += (s.now - from) / iterTime
+		if sj.itersDone > float64(sj.spec.Steps) {
+			sj.itersDone = float64(sj.spec.Steps)
+		}
+	}
+	sj.lastUpdate = s.now
+}
+
+// reschedule recomputes a job's completion event from its remaining work at
+// the given replica count, charging overhead seconds of frozen time first.
+func (s *Simulator) reschedule(sj *simJob, overhead float64, replicas int) {
+	sj.seq++
+	start := s.now + overhead
+	sj.frozenUntil = start
+	remaining := float64(sj.spec.Steps) - sj.itersDone
+	iterTime := s.cfg.Machine.IterTime(sj.spec.Grid, replicas)
+	finish := start + remaining*iterTime
+	s.push(&event{at: finish, kind: evComplete, job: sj, seq: sj.seq})
+}
+
+// record tracks an allocation change of delta worker slots for the
+// utilization timeline and appends (now, replicas) to the job's own
+// replica-count timeline.
+func (s *Simulator) record(delta int, sj *simJob, replicas int) {
+	s.utilArea += float64(s.used) * (s.now - s.utilLast)
+	s.utilLast = s.now
+	s.used += delta
+	s.utilTL = append(s.utilTL, UtilSample{At: s.now, Used: s.used})
+	sj.timeline = append(sj.timeline, ReplicaSample{At: s.now, Replicas: replicas})
+}
+
+// simActuator implements core.Actuator on the simulator. Methods run inside
+// scheduler calls, which run inside event handling — single-threaded.
+type simActuator Simulator
+
+func (a *simActuator) sim() *Simulator { return (*Simulator)(a) }
+
+func (a *simActuator) StartJob(j *core.Job, replicas int) error {
+	s := a.sim()
+	sj := s.jobs[j.ID]
+	if !sj.started {
+		sj.started = true
+		sj.meta.StartAt = s.now
+	}
+	resumeOverhead := 0.0
+	if j.State == core.StatePreempted {
+		// Restarting from a disk checkpoint: charge restart+restore.
+		ph := s.cfg.Machine.RescaleOverhead(sj.spec.Grid, replicas, replicas)
+		resumeOverhead = ph.Restart + ph.Restore
+	}
+	sj.lastUpdate = s.now
+	s.record(replicas, sj, replicas)
+	s.reschedule(sj, resumeOverhead, replicas)
+	return nil
+}
+
+func (a *simActuator) ShrinkJob(j *core.Job, to int) error {
+	return a.rescale(j, to)
+}
+
+func (a *simActuator) ExpandJob(j *core.Job, to int) error {
+	return a.rescale(j, to)
+}
+
+func (a *simActuator) rescale(j *core.Job, to int) error {
+	s := a.sim()
+	sj := s.jobs[j.ID]
+	s.progress(sj) // credit progress at the old replica count first
+	ph := s.cfg.Machine.RescaleOverhead(sj.spec.Grid, j.Replicas, to)
+	delta := to - j.Replicas
+	sj.meta.Rescales++
+	sj.meta.OverheadSec += ph.Total()
+	s.record(delta, sj, to)
+	s.reschedule(sj, ph.Total(), to)
+	return nil
+}
+
+func (a *simActuator) PreemptJob(j *core.Job) error {
+	s := a.sim()
+	sj := s.jobs[j.ID]
+	s.progress(sj)
+	// Checkpoint-to-store cost is charged when the job resumes; stopping
+	// invalidates the completion event.
+	sj.seq++
+	s.record(-j.Replicas, sj, 0)
+	return nil
+}
+
+// collect computes the final metrics.
+func (s *Simulator) collect(w Workload) (Result, error) {
+	res := Result{
+		Policy:           s.cfg.Policy,
+		UtilTimeline:     s.utilTL,
+		ReplicaTimelines: make(map[string][]ReplicaSample),
+	}
+	var firstStart, lastEnd float64
+	first := true
+	var wSum, wResp, wComp float64
+	for _, js := range w.Jobs {
+		sj := s.jobs[js.ID]
+		if sj.job.State != core.StateCompleted {
+			return res, fmt.Errorf("sim: job %s ended in state %v", js.ID, sj.job.State)
+		}
+		m := sj.meta
+		for _, sample := range sj.timeline {
+			if sample.Replicas > m.Replicas {
+				m.Replicas = sample.Replicas // peak allocation
+			}
+		}
+		m.ResponseTime = m.StartAt - m.SubmitAt
+		m.CompletionTime = m.EndAt - m.SubmitAt
+		res.Jobs = append(res.Jobs, m)
+		res.ReplicaTimelines[js.ID] = sj.timeline
+		if first || m.StartAt < firstStart {
+			firstStart = m.StartAt
+			first = false
+		}
+		if m.EndAt > lastEnd {
+			lastEnd = m.EndAt
+		}
+		wgt := float64(m.Priority)
+		wSum += wgt
+		wResp += wgt * m.ResponseTime
+		wComp += wgt * m.CompletionTime
+	}
+	res.TotalTime = lastEnd - firstStart
+	// Utilization over the experiment window [0, lastEnd]: no work happens
+	// after the last completion, so the accumulated area is complete.
+	if lastEnd > 0 {
+		res.Utilization = s.utilArea / (float64(s.cfg.Capacity) * lastEnd)
+	}
+	if wSum > 0 {
+		res.WeightedResponse = wResp / wSum
+		res.WeightedCompletion = wComp / wSum
+	}
+	return res, nil
+}
+
+// RunPolicy is a convenience wrapper: simulate workload w under policy p.
+func RunPolicy(p core.Policy, w Workload, rescaleGap float64) (Result, error) {
+	cfg := DefaultConfig(p)
+	cfg.RescaleGap = rescaleGap
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(w)
+}

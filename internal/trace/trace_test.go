@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"elastichpc/internal/model"
+	"elastichpc/internal/sim"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	w := sim.RandomWorkload(16, 90, 42)
+	var buf bytes.Buffer
+	if err := Save(&buf, w, "unit test"); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(got.Jobs) != len(w.Jobs) {
+		t.Fatalf("loaded %d jobs, want %d", len(got.Jobs), len(w.Jobs))
+	}
+	for i := range w.Jobs {
+		if got.Jobs[i] != w.Jobs[i] {
+			t.Errorf("job %d: got %+v want %+v", i, got.Jobs[i], w.Jobs[i])
+		}
+	}
+}
+
+func TestLoadValidates(t *testing.T) {
+	cases := map[string]string{
+		"bad version":   `{"version":99,"jobs":[{"id":"a","class":"small","priority":1,"submitAt":0}]}`,
+		"no jobs":       `{"version":1,"jobs":[]}`,
+		"empty id":      `{"version":1,"jobs":[{"id":"","class":"small","priority":1,"submitAt":0}]}`,
+		"dup id":        `{"version":1,"jobs":[{"id":"a","class":"small","priority":1,"submitAt":0},{"id":"a","class":"small","priority":1,"submitAt":1}]}`,
+		"bad class":     `{"version":1,"jobs":[{"id":"a","class":"gigantic","priority":1,"submitAt":0}]}`,
+		"zero priority": `{"version":1,"jobs":[{"id":"a","class":"small","priority":0,"submitAt":0}]}`,
+		"negative time": `{"version":1,"jobs":[{"id":"a","class":"small","priority":1,"submitAt":-5}]}`,
+		"not json":      `{{{`,
+	}
+	for name, doc := range cases {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: Load accepted invalid document", name)
+		}
+	}
+}
+
+func TestLoadSortsBySubmitTime(t *testing.T) {
+	doc := `{"version":1,"jobs":[
+		{"id":"late","class":"small","priority":1,"submitAt":100},
+		{"id":"early","class":"medium","priority":2,"submitAt":10}]}`
+	w, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Jobs[0].ID != "early" || w.Jobs[1].ID != "late" {
+		t.Errorf("jobs not sorted: %+v", w.Jobs)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := t.TempDir() + "/wl.json"
+	w := sim.RandomWorkload(4, 30, 1)
+	if err := SaveFile(path, w, "file test"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Jobs) != 4 {
+		t.Errorf("loaded %d jobs", len(got.Jobs))
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Error("LoadFile of missing path succeeded")
+	}
+}
+
+func TestPoissonGenerator(t *testing.T) {
+	w, err := Poisson(200, 60, UniformMix(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 200 {
+		t.Fatalf("%d jobs", len(w.Jobs))
+	}
+	// Arrival times nondecreasing, priorities in 1..5.
+	var sum float64
+	for i, j := range w.Jobs {
+		if i > 0 && j.SubmitAt < w.Jobs[i-1].SubmitAt {
+			t.Fatal("arrivals not sorted")
+		}
+		if j.Priority < 1 || j.Priority > 5 {
+			t.Fatalf("priority %d", j.Priority)
+		}
+		if i > 0 {
+			sum += j.SubmitAt - w.Jobs[i-1].SubmitAt
+		}
+	}
+	mean := sum / float64(len(w.Jobs)-1)
+	if math.Abs(mean-60)/60 > 0.3 {
+		t.Errorf("mean gap %.1f, want ~60", mean)
+	}
+	if _, err := Poisson(0, 60, UniformMix(), 1); err == nil {
+		t.Error("accepted n=0")
+	}
+}
+
+func TestBurstGenerator(t *testing.T) {
+	w, err := Burst(3, 5, 300, UniformMix(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 15 {
+		t.Fatalf("%d jobs", len(w.Jobs))
+	}
+	counts := map[float64]int{}
+	for _, j := range w.Jobs {
+		counts[j.SubmitAt]++
+	}
+	if len(counts) != 3 || counts[0] != 5 || counts[300] != 5 || counts[600] != 5 {
+		t.Errorf("wave layout %v", counts)
+	}
+	if _, err := Burst(0, 5, 300, UniformMix(), 1); err == nil {
+		t.Error("accepted zero waves")
+	}
+}
+
+func TestMixWeighting(t *testing.T) {
+	onlyLarge := Mix{model.Large: 1}
+	w, err := Poisson(50, 10, onlyLarge, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range w.Jobs {
+		if j.Class != model.Large {
+			t.Fatalf("drew %v from a large-only mix", j.Class)
+		}
+	}
+	if _, err := Poisson(10, 10, Mix{}, 3); err == nil {
+		t.Error("accepted empty mix")
+	}
+	if _, err := Poisson(10, 10, Mix{model.Small: -1}, 3); err == nil {
+		t.Error("accepted negative weight")
+	}
+}
+
+// Property: save→load is the identity for generated workloads.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		jobs := int(n%30) + 1
+		w := sim.RandomWorkload(jobs, 45, seed)
+		var buf bytes.Buffer
+		if err := Save(&buf, w, ""); err != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		if err != nil || len(got.Jobs) != jobs {
+			return false
+		}
+		for i := range w.Jobs {
+			if got.Jobs[i] != w.Jobs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Generated workloads must run end-to-end in the simulator.
+func TestGeneratedWorkloadsSimulate(t *testing.T) {
+	pw, err := Poisson(12, 45, UniformMix(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunPolicy(0, pw, 180); err != nil {
+		t.Errorf("poisson workload failed: %v", err)
+	}
+	bw, err := Burst(2, 6, 600, UniformMix(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunPolicy(0, bw, 180); err != nil {
+		t.Errorf("burst workload failed: %v", err)
+	}
+}

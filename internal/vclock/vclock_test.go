@@ -1,0 +1,148 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestVirtualNowAdvance(t *testing.T) {
+	v := NewVirtual(epoch)
+	if !v.Now().Equal(epoch) {
+		t.Fatalf("Now = %v, want %v", v.Now(), epoch)
+	}
+	v.Advance(90 * time.Second)
+	if got := v.Now(); !got.Equal(epoch.Add(90 * time.Second)) {
+		t.Fatalf("Now after Advance = %v", got)
+	}
+}
+
+func TestVirtualTimerFires(t *testing.T) {
+	v := NewVirtual(epoch)
+	ch := v.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	if n := v.Advance(9 * time.Second); n != 0 {
+		t.Fatalf("fired %d timers early", n)
+	}
+	if n := v.Advance(1 * time.Second); n != 1 {
+		t.Fatalf("fired %d timers, want 1", n)
+	}
+	got := <-ch
+	if !got.Equal(epoch.Add(10 * time.Second)) {
+		t.Fatalf("timer delivered %v", got)
+	}
+}
+
+func TestVirtualTimersFireInOrder(t *testing.T) {
+	v := NewVirtual(epoch)
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	delays := []time.Duration{30 * time.Second, 10 * time.Second, 20 * time.Second}
+	for i, d := range delays {
+		wg.Add(1)
+		go func(i int, ch <-chan time.Time) {
+			defer wg.Done()
+			at := <-ch
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			_ = at
+		}(i, v.After(d))
+	}
+	// Fire one at a time so goroutine scheduling can't reorder appends.
+	for v.AdvanceToNext() {
+		time.Sleep(time.Millisecond) // let the receiver run
+	}
+	wg.Wait()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Fatalf("timers fired in order %v, want [1 2 0]", order)
+	}
+}
+
+func TestVirtualZeroDurationFiresImmediately(t *testing.T) {
+	v := NewVirtual(epoch)
+	select {
+	case <-v.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("zero-duration After did not fire")
+	}
+	select {
+	case <-v.After(-time.Second):
+	case <-time.After(time.Second):
+		t.Fatal("negative After did not fire")
+	}
+}
+
+func TestVirtualSleepWakes(t *testing.T) {
+	v := NewVirtual(epoch)
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(5 * time.Second)
+		close(done)
+	}()
+	// Wait until the sleeper registered its timer.
+	for v.PendingTimers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(5 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep never returned")
+	}
+}
+
+func TestAdvanceToNextBatchesEqualDeadlines(t *testing.T) {
+	v := NewVirtual(epoch)
+	a := v.After(7 * time.Second)
+	b := v.After(7 * time.Second)
+	if !v.AdvanceToNext() {
+		t.Fatal("AdvanceToNext found no timer")
+	}
+	<-a
+	<-b
+	if v.PendingTimers() != 0 {
+		t.Fatal("timers left after AdvanceToNext")
+	}
+	if !v.Now().Equal(epoch.Add(7 * time.Second)) {
+		t.Fatalf("Now = %v", v.Now())
+	}
+}
+
+func TestNextDeadline(t *testing.T) {
+	v := NewVirtual(epoch)
+	if _, ok := v.NextDeadline(); ok {
+		t.Fatal("NextDeadline on empty clock reported a timer")
+	}
+	v.After(42 * time.Second)
+	at, ok := v.NextDeadline()
+	if !ok || !at.Equal(epoch.Add(42*time.Second)) {
+		t.Fatalf("NextDeadline = %v, %v", at, ok)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var c Clock = Real{}
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Fatal("Real.Now is in the past")
+	}
+	start := time.Now()
+	c.Sleep(time.Millisecond)
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("Real.Sleep returned early")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("Real.After never fired")
+	}
+}
