@@ -1,13 +1,19 @@
 // Command elasticsim runs the discrete-event scheduling simulator of paper
 // §4.3.1 and prints the series behind Figures 7 and 8 and the Simulation
-// columns of Table 1.
+// columns of Table 1, plus the scenario sweeps of the workload engine.
+// Sweeps fan out over a bounded worker pool (-parallel).
 //
 // Usage:
 //
-//	elasticsim -sweep gap               # Figure 7: submission-gap sweep
-//	elasticsim -sweep rescale           # Figure 8: rescale-gap sweep
-//	elasticsim -table1                  # Table 1, Simulation columns
-//	elasticsim -seeds 100 -jobs 16      # paper-scale averaging
+//	elasticsim -sweep gap                  # Figure 7: submission-gap sweep
+//	elasticsim -sweep rescale              # Figure 8: rescale-gap sweep
+//	elasticsim -sweep scenario             # all scenarios × policies × seeds
+//	elasticsim -table1                     # Table 1, Simulation columns
+//	elasticsim -scenario diurnal           # one scenario under all policies
+//	elasticsim -trace wl.csv               # replay a saved trace (JSON or CSV)
+//	elasticsim -seeds 100 -jobs 16         # paper-scale averaging
+//	elasticsim -parallel 1 -sweep gap      # sequential reference run
+//	elasticsim -scenario burst -save-workload wl.json   # export a workload
 package main
 
 import (
@@ -18,50 +24,116 @@ import (
 
 	"elastichpc/internal/core"
 	"elastichpc/internal/sim"
-	"elastichpc/internal/trace"
+	"elastichpc/internal/workload"
 )
 
 func main() {
 	var (
-		sweep    = flag.String("sweep", "", `sweep to run: "gap" (Fig. 7) or "rescale" (Fig. 8)`)
+		sweep    = flag.String("sweep", "", `sweep to run: "gap" (Fig. 7), "rescale" (Fig. 8), or "scenario"`)
 		table1   = flag.Bool("table1", false, "run the Table 1 simulation")
 		jobs     = flag.Int("jobs", 16, "jobs per workload")
 		seeds    = flag.Int("seeds", 100, "random workloads to average over")
-		workload = flag.String("workload", "", "replay a saved workload JSON under all policies")
-		saveWL   = flag.String("save-workload", "", "write the Table 1 workload to this path and exit")
+		scenario = flag.String("scenario", "", "workload scenario: uniform | poisson | burst | diurnal | trace")
+		tracePth = flag.String("trace", "", "workload trace file to replay (JSON or CSV; implies -scenario trace)")
+		parallel = flag.Int("parallel", 0, "sweep worker count (0 = all CPUs, 1 = sequential)")
+		seed     = flag.Int64("seed", 7, "seed for -scenario / -save-workload runs")
+		saveWL   = flag.String("save-workload", "", "write the selected scenario's workload to this path and exit")
+		workldFl = flag.String("workload", "", "deprecated alias of -trace")
 	)
 	flag.Parse()
+	if *tracePth == "" {
+		*tracePth = *workldFl
+	}
 
 	switch {
 	case *saveWL != "":
-		if err := trace.SaveFile(*saveWL, sim.Table1Workload(), "table 1 workload (seed 7, 90s gap)"); err != nil {
+		w, comment := pickWorkload(*scenario, *tracePth, *seed)
+		if err := workload.SaveFile(*saveWL, w, comment); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *saveWL)
-	case *workload != "":
-		w, err := trace.LoadFile(*workload)
+	case *sweep == "gap" || *sweep == "rescale":
+		// These sweeps are defined over the uniform workload family; a
+		// scenario selection would be silently ignored, so reject it.
+		if *scenario != "" || *tracePth != "" {
+			log.Fatalf("-scenario/-trace do not apply to -sweep %s (use -sweep scenario)", *sweep)
+		}
+		var points []sim.SweepPoint
+		var err error
+		xName := "submission_gap"
+		if *sweep == "gap" {
+			points, err = sim.SubmissionGapSweepWorkers([]float64{0, 30, 60, 90, 120, 150, 180, 210, 240, 270, 300}, *jobs, *seeds, 180, *parallel)
+		} else {
+			xName = "rescale_gap"
+			points, err = sim.RescaleGapSweepWorkers([]float64{0, 60, 120, 180, 300, 450, 600, 900, 1200}, *jobs, *seeds, 180, *parallel)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
-		runWorkload(w)
+		printSweep(xName, points)
+	case *sweep == "scenario":
+		// Default: every built-in scenario, plus the trace if one is given.
+		// With -scenario, sweep just that one.
+		var gens []workload.Generator
+		switch {
+		case *scenario != "":
+			g, err := workload.Scenario(*scenario, *tracePth)
+			if err != nil {
+				log.Fatal(err)
+			}
+			gens = []workload.Generator{g}
+		default:
+			gens = workload.DefaultScenarios()
+			if *tracePth != "" {
+				gens = append(gens, workload.Trace{Path: *tracePth})
+			}
+		}
+		results, err := sim.ScenarioSweep(gens, *seeds, 180, *parallel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printScenarios(results)
+	case *sweep != "":
+		log.Fatalf(`unknown sweep %q (have "gap", "rescale", "scenario")`, *sweep)
 	case *table1:
 		runTable1()
-	case *sweep == "gap":
-		points, err := sim.SubmissionGapSweep([]float64{0, 30, 60, 90, 120, 150, 180, 210, 240, 270, 300}, *jobs, *seeds, 180)
+	case *scenario != "" || *tracePth != "":
+		if *scenario == "" {
+			*scenario = "trace"
+		}
+		g, err := workload.Scenario(*scenario, *tracePth)
 		if err != nil {
 			log.Fatal(err)
 		}
-		printSweep("submission_gap", points)
-	case *sweep == "rescale":
-		points, err := sim.RescaleGapSweep([]float64{0, 60, 120, 180, 300, 450, 600, 900, 1200}, *jobs, *seeds, 180)
+		w, err := g.Generate(*seed)
 		if err != nil {
 			log.Fatal(err)
 		}
-		printSweep("rescale_gap", points)
+		runWorkload(g.Name(), w)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// pickWorkload builds the workload selected by -scenario/-seed; with no
+// scenario it falls back to the historical default, the Table 1 workload.
+func pickWorkload(scenario, tracePath string, seed int64) (sim.Workload, string) {
+	if scenario == "" && tracePath != "" {
+		scenario = "trace"
+	}
+	if scenario == "" {
+		return sim.Table1Workload(), "table 1 workload (seed 7, 90s gap)"
+	}
+	g, err := workload.Scenario(scenario, tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := g.Generate(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return w, fmt.Sprintf("%s scenario, seed %d", g.Name(), seed)
 }
 
 func printSweep(xName string, points []sim.SweepPoint) {
@@ -75,8 +147,19 @@ func printSweep(xName string, points []sim.SweepPoint) {
 	}
 }
 
-func runWorkload(w sim.Workload) {
-	fmt.Printf("Replaying %d-job workload under all policies (T_rescale_gap = 180 s)\n", len(w.Jobs))
+func printScenarios(results []sim.ScenarioResult) {
+	fmt.Println("scenario,policy,utilization,total_time_s,weighted_response_s,weighted_completion_s")
+	for _, sr := range results {
+		for _, p := range core.AllPolicies() {
+			avg := sr.ByPolicy[p]
+			fmt.Printf("%s,%s,%.4f,%.1f,%.2f,%.2f\n",
+				sr.Name, p, avg.Utilization, avg.TotalTime, avg.WeightedResponse, avg.WeightedCompletion)
+		}
+	}
+}
+
+func runWorkload(name string, w sim.Workload) {
+	fmt.Printf("Replaying %d-job %s workload under all policies (T_rescale_gap = 180 s)\n", len(w.Jobs), name)
 	fmt.Printf("%-14s %12s %12s %16s %18s\n",
 		"Scheduler", "Total (s)", "Utilization", "W. response (s)", "W. completion (s)")
 	for _, p := range core.AllPolicies() {

@@ -4,12 +4,17 @@
 //
 // Grid sizes are scaled down from the paper's (which assume a 64-vCPU
 // cluster and gigabytes of state); pass -scale 1 to attempt paper-size grids.
+// With -scenario or -trace, the -mode size grid set is derived from the job
+// classes of that workload scenario, so the overhead curve covers the state
+// sizes an experiment will actually move. -parallel N measures N points
+// concurrently (faster, noisier).
 //
 // Usage:
 //
 //	rescale-bench -mode shrink    # Fig. 5a: shrink to half, varying replicas
 //	rescale-bench -mode expand    # Fig. 5b: expand to double, varying replicas
 //	rescale-bench -mode size      # Fig. 5c: shrink 32→16, varying grid size
+//	rescale-bench -mode size -scenario diurnal   # grids from a scenario
 //	rescale-bench -mode timeline  # Fig. 6: per-iteration times around rescales
 package main
 
@@ -21,87 +26,133 @@ import (
 
 	"elastichpc/internal/apps"
 	"elastichpc/internal/charm"
+	"elastichpc/internal/sim"
+	"elastichpc/internal/workload"
 )
+
+// point is one measurement cell: a from→to rescale of an n×n grid, keyed on
+// x (replicas for shrink/expand modes, grid size for size mode).
+type point struct {
+	x, from, to, grid int
+}
 
 func main() {
 	var (
-		mode  = flag.String("mode", "", "shrink | expand | size | timeline")
-		scale = flag.Int("scale", 8, "divide paper grid sizes by this factor")
-		iters = flag.Int("iters", 30, "iterations to run before rescaling")
+		mode     = flag.String("mode", "", "shrink | expand | size | timeline")
+		scale    = flag.Int("scale", 8, "divide paper grid sizes by this factor")
+		iters    = flag.Int("iters", 30, "iterations to run before rescaling")
+		scenario = flag.String("scenario", "", "derive -mode size grids from this workload scenario (uniform | poisson | burst | diurnal | trace)")
+		tracePth = flag.String("trace", "", "workload trace file for -scenario trace (implies it)")
+		seed     = flag.Int64("seed", 7, "scenario generation seed")
+		parallel = flag.Int("parallel", 1, "measurement points to run concurrently (timings get noisier above 1)")
 	)
 	flag.Parse()
+	if *tracePth != "" && *scenario == "" {
+		*scenario = "trace"
+	}
+	if *parallel > 1 {
+		fmt.Fprintf(os.Stderr, "# warning: -parallel %d shares cores between points; timings are noisier\n", *parallel)
+	}
 
+	if *scenario != "" && *mode != "size" {
+		// Scenarios select grid sizes, which only the size sweep varies.
+		log.Fatalf("-scenario/-trace do not apply to -mode %s (only -mode size derives grids from a scenario)", *mode)
+	}
+
+	var points []point
 	switch *mode {
 	case "shrink":
 		fmt.Println("# Fig 5a: shrink to half; x = replicas before shrinking")
-		fmt.Println("replicas,lb_s,ckpt_s,restart_s,restore_s,total_s,bytes")
 		for _, p := range []int{4, 8, 16, 32} {
-			runOnce(p, p/2, 8192 / *scale, *iters)
+			points = append(points, point{x: p, from: p, to: p / 2, grid: 8192 / *scale})
 		}
 	case "expand":
 		fmt.Println("# Fig 5b: expand to double; x = replicas before expanding")
-		fmt.Println("replicas,lb_s,ckpt_s,restart_s,restore_s,total_s,bytes")
 		for _, p := range []int{2, 4, 8, 16} {
-			runOnce(p, p*2, 8192 / *scale, *iters)
+			points = append(points, point{x: p, from: p, to: p * 2, grid: 8192 / *scale})
 		}
 	case "size":
-		fmt.Println("# Fig 5c: shrink 32->16; x = grid dimension")
-		fmt.Println("grid,lb_s,ckpt_s,restart_s,restore_s,total_s,bytes")
-		for _, n := range []int{512 / *scale * 8, 2048 / *scale * 8, 8192 / *scale * 8} {
-			runOnce(32, 16, n, *iters)
+		grids, source, err := sizeGrids(*scenario, *tracePth, *seed, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# Fig 5c: shrink 32->16; x = grid dimension; grids from %s\n", source)
+		for _, n := range grids {
+			points = append(points, point{x: n, from: 32, to: 16, grid: n})
 		}
 	case "timeline":
 		runTimeline(*scale, *iters)
+		return
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	header := "replicas"
+	if *mode == "size" {
+		header = "grid"
+	}
+	fmt.Printf("%s,lb_s,ckpt_s,restart_s,restore_s,total_s,bytes\n", header)
+	rows := make([]string, len(points))
+	if err := sim.RunTasks(len(points), *parallel, func(i int) error {
+		rows[i] = runOnce(points[i], *iters)
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range rows {
+		fmt.Print(row)
+	}
 }
 
-// runOnce runs a Jacobi solve on `from` PEs, rescales to `to`, and prints
-// the phase breakdown.
-func runOnce(from, to, grid, iters int) {
-	rt, err := charm.New(charm.Config{PEs: from})
+// sizeGrids picks the -mode size grid dimensions: Figure 5c's fixed list, or
+// the distinct grids of a scenario's job classes.
+func sizeGrids(scenario, tracePath string, seed int64, scale int) ([]int, string, error) {
+	if scenario == "" {
+		return []int{512 / scale * 8, 2048 / scale * 8, 8192 / scale * 8}, "Fig. 5c defaults", nil
+	}
+	raw, source, err := workload.ScenarioGrids(scenario, tracePath, seed)
+	if err != nil {
+		return nil, "", err
+	}
+	grids := workload.MapGrids(raw, func(n int) int { return n / scale * 8 })
+	if len(grids) == 0 {
+		return nil, "", fmt.Errorf("scenario %q yields no usable grids at -scale %d", scenario, scale)
+	}
+	return grids, source, nil
+}
+
+// runOnce runs a Jacobi solve on pt.from PEs, rescales to pt.to, and returns
+// the phase-breakdown CSV row.
+func runOnce(pt point, iters int) string {
+	rt, err := charm.New(charm.Config{PEs: pt.from})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer rt.Shutdown()
 	// Overdecompose 4 chares per PE on the larger side of the rescale.
-	side := from
-	if to > side {
-		side = to
+	side := pt.from
+	if pt.to > side {
+		side = pt.to
 	}
 	bx, by := chareGrid(4 * side)
-	r, err := apps.NewJacobiRunner(rt, grid, bx, by)
+	r, err := apps.NewJacobiRunner(rt, pt.grid, bx, by)
 	if err != nil {
 		log.Fatal(err)
 	}
 	r.LBPeriod = iters / 2
-	go func() { <-rt.RequestRescale(to) }()
+	go func() { <-rt.RequestRescale(pt.to) }()
 	if _, err := r.Run(iters); err != nil {
 		log.Fatal(err)
 	}
 	stats := rt.Stats()
 	if len(stats) == 0 {
-		log.Fatalf("no rescale recorded for %d->%d", from, to)
+		log.Fatalf("no rescale recorded for %d->%d", pt.from, pt.to)
 	}
 	s := stats[len(stats)-1]
-	x := from
-	if to > from {
-		x = from
-	}
-	fmt.Printf("%d,%.4f,%.4f,%.4f,%.4f,%.4f,%d\n", xOrGrid(x, grid, from, to),
+	return fmt.Sprintf("%d,%.4f,%.4f,%.4f,%.4f,%.4f,%d\n", pt.x,
 		s.LoadBalance.Seconds(), s.Checkpoint.Seconds(), s.Restart.Seconds(),
 		s.Restore.Seconds(), s.Total.Seconds(), s.CheckpointBytes)
-}
-
-// xOrGrid picks the x-axis value: replicas for shrink/expand modes, grid for
-// size mode (from == 32 && to == 16 is the size sweep configuration).
-func xOrGrid(replicas, grid, from, to int) int {
-	if from == 32 && to == 16 {
-		return grid
-	}
-	return replicas
 }
 
 // chareGrid factors n into a near-square bx×by decomposition.

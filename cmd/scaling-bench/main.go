@@ -3,12 +3,19 @@
 //
 // Grid sizes are scaled down from the paper's by -scale (the goroutine
 // runtime shares one machine rather than 4 EKS nodes); the scaling *shape* —
-// larger problems scale better — is the reproduction target.
+// larger problems scale better — is the reproduction target. With -scenario
+// or -trace, the Jacobi grid set is derived from the job classes that
+// actually appear in that workload scenario instead of the fixed Figure 4
+// list, so the benchmark covers exactly the problem sizes an experiment will
+// run. -parallel N runs benchmark cells concurrently (faster, but timings
+// share cores — keep the default for publication-quality curves).
 //
 // Usage:
 //
-//	scaling-bench -app jacobi   # Fig. 4a
-//	scaling-bench -app leanmd   # Fig. 4b
+//	scaling-bench -app jacobi                    # Fig. 4a
+//	scaling-bench -app leanmd                    # Fig. 4b
+//	scaling-bench -app jacobi -scenario burst    # grids drawn from a scenario
+//	scaling-bench -app jacobi -parallel 4        # 4 cells at a time
 package main
 
 import (
@@ -20,16 +27,25 @@ import (
 
 	"elastichpc/internal/apps"
 	"elastichpc/internal/charm"
+	"elastichpc/internal/sim"
+	"elastichpc/internal/workload"
 )
 
 func main() {
 	var (
-		app   = flag.String("app", "", "jacobi | leanmd")
-		scale = flag.Int("scale", 8, "divide paper problem sizes by this factor")
-		iters = flag.Int("iters", 20, "iterations to time")
-		maxPE = flag.Int("maxpes", maxReasonablePEs(), "largest replica count to test")
+		app      = flag.String("app", "", "jacobi | leanmd")
+		scale    = flag.Int("scale", 8, "divide paper problem sizes by this factor")
+		iters    = flag.Int("iters", 20, "iterations to time")
+		maxPE    = flag.Int("maxpes", maxReasonablePEs(), "largest replica count to test")
+		scenario = flag.String("scenario", "", "derive Jacobi grids from this workload scenario (uniform | poisson | burst | diurnal | trace)")
+		tracePth = flag.String("trace", "", "workload trace file for -scenario trace (implies it)")
+		seed     = flag.Int64("seed", 7, "scenario generation seed")
+		parallel = flag.Int("parallel", 1, "benchmark cells to run concurrently (timings get noisier above 1)")
 	)
 	flag.Parse()
+	if *tracePth != "" && *scenario == "" {
+		*scenario = "trace"
+	}
 
 	replicas := []int{2, 4, 8, 16, 32, 64}
 	var pes []int
@@ -38,30 +54,85 @@ func main() {
 			pes = append(pes, p)
 		}
 	}
+	if *parallel > 1 {
+		fmt.Fprintf(os.Stderr, "# warning: -parallel %d shares cores between cells; timings are noisier\n", *parallel)
+	}
 
 	switch *app {
 	case "jacobi":
-		fmt.Println("# Fig 4a: Jacobi2D strong scaling; time per iteration (s)")
+		grids, source, err := jacobiGrids(*scenario, *tracePth, *seed, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# Fig 4a: Jacobi2D strong scaling; time per iteration (s); grids from %s\n", source)
 		fmt.Println("grid,replicas,time_per_iter_s")
-		for _, grid := range []int{2048 / *scale, 8192 / *scale, 16384 / *scale} {
+		type cell struct{ grid, pes int }
+		var cells []cell
+		for _, grid := range grids {
 			for _, p := range pes {
-				t := runJacobi(grid, p, *iters)
-				fmt.Printf("%d,%d,%.6f\n", grid, p, t)
+				cells = append(cells, cell{grid, p})
 			}
 		}
+		times := make([]float64, len(cells))
+		if err := sim.RunTasks(len(cells), *parallel, func(i int) error {
+			times[i] = runJacobi(cells[i].grid, cells[i].pes, *iters)
+			return nil
+		}); err != nil {
+			log.Fatal(err)
+		}
+		for i, c := range cells {
+			fmt.Printf("%d,%d,%.6f\n", c.grid, c.pes, times[i])
+		}
 	case "leanmd":
+		if *scenario != "" {
+			// Scenario job classes map to Jacobi grids; LeanMD's cell grids
+			// are fixed, so a scenario selection would be silently ignored.
+			log.Fatal("-scenario/-trace do not apply to -app leanmd (scenarios map to Jacobi grid sizes)")
+		}
 		fmt.Println("# Fig 4b: LeanMD strong scaling; time per step (s)")
 		fmt.Println("cells,replicas,time_per_step_s")
-		for _, cells := range [][3]int{{4, 4, 4}, {4, 4, 8}, {4, 8, 8}} {
+		type cell struct {
+			dims [3]int
+			pes  int
+		}
+		var cells []cell
+		for _, dims := range [][3]int{{4, 4, 4}, {4, 4, 8}, {4, 8, 8}} {
 			for _, p := range pes {
-				t := runLeanMD(cells, p, *iters)
-				fmt.Printf("%dx%dx%d,%d,%.6f\n", cells[0], cells[1], cells[2], p, t)
+				cells = append(cells, cell{dims, p})
 			}
+		}
+		times := make([]float64, len(cells))
+		if err := sim.RunTasks(len(cells), *parallel, func(i int) error {
+			times[i] = runLeanMD(cells[i].dims, cells[i].pes, *iters)
+			return nil
+		}); err != nil {
+			log.Fatal(err)
+		}
+		for i, c := range cells {
+			fmt.Printf("%dx%dx%d,%d,%.6f\n", c.dims[0], c.dims[1], c.dims[2], c.pes, times[i])
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// jacobiGrids picks the grid sizes to benchmark: Figure 4a's fixed list, or —
+// when a scenario is selected — the distinct grids of the job classes that
+// workload actually submits, scaled down by scale.
+func jacobiGrids(scenario, tracePath string, seed int64, scale int) ([]int, string, error) {
+	if scenario == "" {
+		return []int{2048 / scale, 8192 / scale, 16384 / scale}, "Fig. 4a defaults", nil
+	}
+	raw, source, err := workload.ScenarioGrids(scenario, tracePath, seed)
+	if err != nil {
+		return nil, "", err
+	}
+	grids := workload.MapGrids(raw, func(n int) int { return n / scale })
+	if len(grids) == 0 {
+		return nil, "", fmt.Errorf("scenario %q yields no usable grids at -scale %d", scenario, scale)
+	}
+	return grids, source, nil
 }
 
 // maxReasonablePEs caps the sweep at the hardware parallelism: goroutine PEs

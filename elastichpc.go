@@ -18,7 +18,11 @@
 //     rigid-min / rigid-max / moldable baselines (internal/core);
 //   - a discrete-event scheduling simulator with calibrated performance
 //     models (internal/sim, internal/model) and a full-stack deterministic
-//     cluster emulation on a virtual clock (internal/cluster).
+//     cluster emulation on a virtual clock (internal/cluster);
+//   - a workload-scenario engine (internal/workload) whose generators —
+//     uniform, Poisson, bursty, diurnal, and trace replay — feed both the
+//     simulator and the emulation, with parallel sweep harnesses over
+//     scenarios, policies, and seeds.
 //
 // This file is the stable facade: examples and external-style consumers use
 // these re-exports rather than reaching into internal packages directly.
@@ -35,6 +39,7 @@ import (
 	"elastichpc/internal/model"
 	"elastichpc/internal/shm"
 	"elastichpc/internal/sim"
+	"elastichpc/internal/workload"
 )
 
 // Scheduling policies (paper §4.3).
@@ -152,6 +157,79 @@ func RandomWorkload(n int, gapSeconds float64, seed int64) Workload {
 // Simulate runs a workload under a policy in the discrete-event simulator.
 func Simulate(p Policy, w Workload, rescaleGapSeconds float64) (SimResult, error) {
 	return sim.RunPolicy(p, w, rescaleGapSeconds)
+}
+
+// Workload scenarios (the internal/workload engine): generators produce
+// reproducible workloads that drive both Simulate and Emulate, and sweeps
+// fan out over a bounded worker pool.
+type (
+	// WorkloadGenerator produces a workload from a seed; implementations are
+	// deterministic per seed.
+	WorkloadGenerator = workload.Generator
+	// UniformScenario is the paper's fixed-gap uniform-class baseline.
+	UniformScenario = workload.Uniform
+	// PoissonScenario draws exponentially distributed inter-arrivals.
+	PoissonScenario = workload.Poisson
+	// BurstScenario submits flash-crowd waves.
+	BurstScenario = workload.Burst
+	// DiurnalScenario follows a day/night arrival cycle.
+	DiurnalScenario = workload.Diurnal
+	// TraceScenario replays a workload saved with SaveWorkload.
+	TraceScenario = workload.Trace
+	// ClassMix weights the four job classes in a generator.
+	ClassMix = workload.Mix
+	// SweepPoint is one x-coordinate of a Figure 7/8 sweep.
+	SweepPoint = sim.SweepPoint
+	// ScenarioResult is one scenario's per-policy averaged metrics.
+	ScenarioResult = sim.ScenarioResult
+)
+
+// DefaultScenarios returns the built-in scenario set at paper scale.
+func DefaultScenarios() []WorkloadGenerator { return workload.DefaultScenarios() }
+
+// Scenario resolves a scenario name ("uniform", "poisson", "burst",
+// "diurnal", or "trace" with a trace path) to its generator.
+func Scenario(name, tracePath string) (WorkloadGenerator, error) {
+	return workload.Scenario(name, tracePath)
+}
+
+// ReplayWorkload wraps an existing workload as a generator so it can join
+// scenario sweeps.
+func ReplayWorkload(name string, w Workload) WorkloadGenerator {
+	return workload.Replay(name, w)
+}
+
+// SaveWorkload writes a workload to path — JSON, or the CSV trace format
+// when the path ends in ".csv".
+func SaveWorkload(path string, w Workload, comment string) error {
+	return workload.SaveFile(path, w, comment)
+}
+
+// LoadWorkload reads a workload saved with SaveWorkload.
+func LoadWorkload(path string) (Workload, error) { return workload.LoadFile(path) }
+
+// SubmissionGapSweep runs the Figure 7 sweep on a bounded worker pool;
+// workers <= 0 uses every CPU, workers == 1 is the sequential reference path
+// (results are bit-identical either way).
+func SubmissionGapSweep(gaps []float64, jobs, seeds int, rescaleGapSeconds float64, workers int) ([]SweepPoint, error) {
+	return sim.SubmissionGapSweepWorkers(gaps, jobs, seeds, rescaleGapSeconds, workers)
+}
+
+// RescaleGapSweep runs the Figure 8 sweep on a bounded worker pool.
+func RescaleGapSweep(rescaleGaps []float64, jobs, seeds int, submissionGapSeconds float64, workers int) ([]SweepPoint, error) {
+	return sim.RescaleGapSweepWorkers(rescaleGaps, jobs, seeds, submissionGapSeconds, workers)
+}
+
+// ScenarioSweep averages every scenario under every policy across seeds on a
+// bounded worker pool.
+func ScenarioSweep(gens []WorkloadGenerator, seeds int, rescaleGapSeconds float64, workers int) ([]ScenarioResult, error) {
+	return sim.ScenarioSweep(gens, seeds, rescaleGapSeconds, workers)
+}
+
+// EmulateScenario generates one seed of a scenario and runs it through the
+// full k8s+operator emulation.
+func EmulateScenario(cfg ClusterConfig, g WorkloadGenerator, seed int64) (SimResult, error) {
+	return cluster.RunGenerator(cfg, g, seed)
 }
 
 // Cluster emulation (paper §4.3.2).

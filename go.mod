@@ -1,0 +1,3 @@
+module elastichpc
+
+go 1.24

@@ -23,12 +23,20 @@ type message struct {
 // msgq is an unbounded FIFO message queue. Sends never block, which makes
 // arbitrary chare-to-chare communication patterns deadlock-free (a bounded
 // channel could deadlock two PEs sending into each other's full queues).
+// Messages live in a power-of-two ring buffer: push and pop are O(1) at any
+// queue depth, where the previous slide-on-pop layout copied the whole
+// backlog on every dequeue (O(n) per pop, O(n²) to drain a deep queue).
 type msgq struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	items  []message
+	buf    []message // ring storage; len(buf) is 0 or a power of two
+	head   int       // index of the oldest message
+	n      int       // queued message count
 	closed bool
 }
+
+// minMsgqCap is the initial ring allocation on first push.
+const minMsgqCap = 16
 
 func newMsgq() *msgq {
 	q := &msgq{}
@@ -40,10 +48,28 @@ func newMsgq() *msgq {
 func (q *msgq) push(m message) {
 	q.mu.Lock()
 	if !q.closed {
-		q.items = append(q.items, m)
+		if q.n == len(q.buf) {
+			q.grow()
+		}
+		q.buf[(q.head+q.n)&(len(q.buf)-1)] = m
+		q.n++
 		q.cond.Signal()
 	}
 	q.mu.Unlock()
+}
+
+// grow doubles the ring, unwrapping the live window to the front. Called with
+// q.mu held and the ring full.
+func (q *msgq) grow() {
+	newCap := len(q.buf) * 2
+	if newCap == 0 {
+		newCap = minMsgqCap
+	}
+	buf := make([]message, newCap)
+	copied := copy(buf, q.buf[q.head:])
+	copy(buf[copied:], q.buf[:q.head])
+	q.buf = buf
+	q.head = 0
 }
 
 // pop dequeues the next message, blocking until one is available. It returns
@@ -51,16 +77,16 @@ func (q *msgq) push(m message) {
 func (q *msgq) pop() (message, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for q.n == 0 && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return message{}, false
 	}
-	m := q.items[0]
-	// Slide rather than re-slice forever so the backing array is reused.
-	copy(q.items, q.items[1:])
-	q.items = q.items[:len(q.items)-1]
+	m := q.buf[q.head]
+	q.buf[q.head] = message{} // release the payload for GC
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
 	return m, true
 }
 
@@ -76,5 +102,5 @@ func (q *msgq) close() {
 func (q *msgq) len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items)
+	return q.n
 }

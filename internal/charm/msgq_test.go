@@ -1,0 +1,158 @@
+package charm
+
+import (
+	"sync"
+	"testing"
+)
+
+// FIFO order must survive ring growth and wrap-around.
+func TestMsgqFIFOAcrossGrowthAndWrap(t *testing.T) {
+	q := newMsgq()
+	next := 0
+	popped := 0
+	// Interleave pushes and pops so the ring's head walks around the buffer
+	// while the queue repeatedly grows past its current capacity.
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 10*(round+1); i++ {
+			q.push(message{entry: next})
+			next++
+		}
+		for i := 0; i < 5*(round+1); i++ {
+			m, ok := q.pop()
+			if !ok {
+				t.Fatal("pop on live queue returned !ok")
+			}
+			if m.entry != popped {
+				t.Fatalf("popped entry %d, want %d", m.entry, popped)
+			}
+			popped++
+		}
+	}
+	if got := q.len(); got != next-popped {
+		t.Fatalf("len %d, want %d", got, next-popped)
+	}
+	q.close()
+	for {
+		m, ok := q.pop()
+		if !ok {
+			break
+		}
+		if m.entry != popped {
+			t.Fatalf("drain popped entry %d, want %d", m.entry, popped)
+		}
+		popped++
+	}
+	if popped != next {
+		t.Fatalf("drained %d of %d messages", popped, next)
+	}
+}
+
+func TestMsgqCloseSemantics(t *testing.T) {
+	q := newMsgq()
+	q.push(message{entry: 1})
+	q.close()
+	q.push(message{entry: 2}) // dropped: queue is closed
+	if m, ok := q.pop(); !ok || m.entry != 1 {
+		t.Fatalf("pop after close: %v %v", m, ok)
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop returned a dropped message")
+	}
+	if q.len() != 0 {
+		t.Fatalf("len %d after drain", q.len())
+	}
+}
+
+// A blocked pop must wake on push from another goroutine.
+func TestMsgqBlockingPop(t *testing.T) {
+	q := newMsgq()
+	done := make(chan message, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m, ok := q.pop()
+		if !ok {
+			t.Error("pop returned !ok")
+		}
+		done <- m
+	}()
+	q.push(message{entry: 99})
+	if m := <-done; m.entry != 99 {
+		t.Fatalf("woke with entry %d", m.entry)
+	}
+	wg.Wait()
+}
+
+// slideQ is the pre-ring-buffer msgq layout (slide the slice on every pop),
+// kept here as the benchmark baseline so the ring buffer's win on deep
+// queues stays demonstrable.
+type slideQ struct {
+	mu    sync.Mutex
+	items []message
+}
+
+func (q *slideQ) push(m message) {
+	q.mu.Lock()
+	q.items = append(q.items, m)
+	q.mu.Unlock()
+}
+
+func (q *slideQ) pop() (message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return message{}, false
+	}
+	m := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	return m, true
+}
+
+// BenchmarkMsgqDeep drains a deep backlog: the ring buffer pops in O(1) while
+// the old slide layout copies the remaining backlog on every pop.
+//
+//	go test ./internal/charm -bench MsgqDeep
+func BenchmarkMsgqDeep(b *testing.B) {
+	const depth = 16384
+	b.Run("ring", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := newMsgq()
+			for j := 0; j < depth; j++ {
+				q.push(message{entry: j})
+			}
+			for j := 0; j < depth; j++ {
+				if _, ok := q.pop(); !ok {
+					b.Fatal("empty")
+				}
+			}
+		}
+	})
+	b.Run("slide", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := &slideQ{}
+			for j := 0; j < depth; j++ {
+				q.push(message{entry: j})
+			}
+			for j := 0; j < depth; j++ {
+				if _, ok := q.pop(); !ok {
+					b.Fatal("empty")
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkMsgqSteady is the common shallow case (push/pop pairs): the ring
+// must not regress it.
+func BenchmarkMsgqSteady(b *testing.B) {
+	q := newMsgq()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.push(message{entry: i})
+		if _, ok := q.pop(); !ok {
+			b.Fatal("empty")
+		}
+	}
+}

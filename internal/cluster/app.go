@@ -9,6 +9,7 @@ import (
 	"elastichpc/internal/model"
 	"elastichpc/internal/operator"
 	"elastichpc/internal/sim"
+	"elastichpc/internal/workload"
 )
 
 // modelApps implements operator.AppRuntime with the calibrated performance
@@ -159,8 +160,10 @@ func (m *modelApps) Stop(job *operator.CharmJob) {
 
 // RunExperiment builds a cluster, submits the workload, runs it to
 // completion, and returns the metrics. It is the harness behind Table 1
-// "Actual" and Figure 9.
-func RunExperiment(cfg Config, w sim.Workload) (sim.Result, error) {
+// "Actual" and Figure 9. It consumes the same workload.Workload the
+// discrete-event simulator does, so any scenario generator drives both
+// backends.
+func RunExperiment(cfg Config, w workload.Workload) (sim.Result, error) {
 	c, err := New(cfg)
 	if err != nil {
 		return sim.Result{}, err
@@ -204,4 +207,15 @@ func Table1Actual() (map[core.Policy]sim.Result, error) {
 		out[p] = res
 	}
 	return out, nil
+}
+
+// RunGenerator generates one seed of a workload scenario and runs it through
+// the full emulation — the cluster-backend twin of generating and handing the
+// workload to sim.RunPolicy.
+func RunGenerator(cfg Config, g workload.Generator, seed int64) (sim.Result, error) {
+	w, err := g.Generate(seed)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return RunExperiment(cfg, w)
 }

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunTasks executes n independent tasks on a bounded worker pool and returns
+// the error of the lowest-indexed failing task (so the reported failure does
+// not depend on goroutine scheduling). workers <= 0 means runtime.NumCPU();
+// workers == 1 runs sequentially in the calling goroutine, which is the
+// reference path parallel runs must match bit-for-bit.
+//
+// Tasks must be independent and deterministic in their index: each task
+// derives everything it needs (RNG seed included) from i, never from shared
+// mutable state, which is what makes the two paths equivalent.
+func RunTasks(n, workers int, task func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := task(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = task(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

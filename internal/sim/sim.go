@@ -9,54 +9,36 @@ package sim
 import (
 	"container/heap"
 	"fmt"
-	"math/rand"
 	"time"
 
 	"elastichpc/internal/core"
 	"elastichpc/internal/model"
+	"elastichpc/internal/workload"
 )
 
-// JobSpec is one simulated job submission.
-type JobSpec struct {
-	ID       string
-	Class    model.Class
-	Priority int
-	SubmitAt float64 // seconds from experiment start
-}
-
-// Workload is a reproducible job set.
-type Workload struct {
-	Jobs []JobSpec
-}
+// JobSpec and Workload live in internal/workload — the scenario engine shared
+// with the cluster emulation; the aliases keep sim's historical API intact.
+type (
+	// JobSpec is one simulated job submission.
+	JobSpec = workload.JobSpec
+	// Workload is a reproducible job set.
+	Workload = workload.Workload
+)
 
 // RandomWorkload draws n jobs uniformly from the four classes with uniform
 // priorities in [1,5], submitted gap seconds apart (paper §4.3.1: "We pick
 // 16 jobs randomly out of these 4 sizes with random priorities between 1
-// and 5").
+// and 5"). It is the workload.Uniform generator, draw-order-compatible with
+// seed-pinned experiments from before the workload-engine extraction.
 func RandomWorkload(n int, gap float64, seed int64) Workload {
-	rng := rand.New(rand.NewSource(seed))
-	classes := model.AllClasses()
-	var w Workload
-	for i := 0; i < n; i++ {
-		w.Jobs = append(w.Jobs, JobSpec{
-			ID:       fmt.Sprintf("job-%02d", i),
-			Class:    classes[rng.Intn(len(classes))],
-			Priority: 1 + rng.Intn(5),
-			SubmitAt: float64(i) * gap,
-		})
+	if n <= 0 {
+		return Workload{}
+	}
+	w, err := (workload.Uniform{Jobs: n, Gap: gap}).Generate(seed)
+	if err != nil {
+		panic(fmt.Sprintf("sim: RandomWorkload(%d, %g): %v", n, gap, err))
 	}
 	return w
-}
-
-// WithGap returns a copy of the workload with submissions respaced to the
-// given gap, preserving classes and priorities — used by the submission-gap
-// sweep so that all points share one job mix.
-func (w Workload) WithGap(gap float64) Workload {
-	out := Workload{Jobs: append([]JobSpec(nil), w.Jobs...)}
-	for i := range out.Jobs {
-		out.Jobs[i].SubmitAt = float64(i) * gap
-	}
-	return out
 }
 
 // JobMetrics is the per-job outcome.

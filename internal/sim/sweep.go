@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"elastichpc/internal/core"
+	"elastichpc/internal/workload"
 )
 
 // AverageResult is the mean of a metric set over repeated seeds.
@@ -23,73 +24,142 @@ type SweepPoint struct {
 	ByPolicy map[core.Policy]AverageResult
 }
 
-// averageOver runs the supplied single-run function across seeds and
-// averages the four metrics.
-func averageOver(p core.Policy, seeds int, run func(seed int64) (Result, error)) (AverageResult, error) {
-	avg := AverageResult{Policy: p}
-	for seed := 0; seed < seeds; seed++ {
-		res, err := run(int64(seed))
-		if err != nil {
-			return avg, fmt.Errorf("seed %d: %w", seed, err)
-		}
-		avg.TotalTime += res.TotalTime
-		avg.Utilization += res.Utilization
-		avg.WeightedResponse += res.WeightedResponse
-		avg.WeightedCompletion += res.WeightedCompletion
-		avg.Runs++
-	}
-	n := float64(avg.Runs)
-	avg.TotalTime /= n
-	avg.Utilization /= n
-	avg.WeightedResponse /= n
-	avg.WeightedCompletion /= n
-	return avg, nil
+// ScenarioResult is one workload scenario's per-policy averaged metrics — the
+// ScenarioSweep analogue of a SweepPoint.
+type ScenarioResult struct {
+	Name     string
+	ByPolicy map[core.Policy]AverageResult
 }
 
-// SubmissionGapSweep reproduces Figure 7: for each submission gap, run
-// `seeds` random 16-job workloads under every policy with T_rescale_gap =
-// 180 s and average the metrics.
-func SubmissionGapSweep(gaps []float64, jobs, seeds int, rescaleGap float64) ([]SweepPoint, error) {
-	var points []SweepPoint
-	for _, gap := range gaps {
-		pt := SweepPoint{X: gap, ByPolicy: make(map[core.Policy]AverageResult)}
-		for _, p := range core.AllPolicies() {
-			p := p
-			avg, err := averageOver(p, seeds, func(seed int64) (Result, error) {
-				w := RandomWorkload(jobs, gap, seed)
-				return RunPolicy(p, w, rescaleGap)
-			})
-			if err != nil {
-				return nil, fmt.Errorf("gap %.0f policy %v: %w", gap, p, err)
+// sweepGrid runs every (x, policy, seed) cell of a sweep on the worker pool
+// and reduces to per-point averages. Each cell is independent and derives its
+// workload from its own seed, so the parallel schedule cannot change any
+// result; the reduction always iterates cells in (point, policy, seed) order,
+// so the float accumulation order — and therefore every output bit — matches
+// the workers == 1 sequential path.
+func sweepGrid(xs []float64, seeds, workers int, run func(x float64, p core.Policy, seed int64) (Result, error)) ([]SweepPoint, error) {
+	if seeds < 1 {
+		return nil, fmt.Errorf("sim: sweep needs seeds >= 1, got %d", seeds)
+	}
+	policies := core.AllPolicies()
+	perPoint := len(policies) * seeds
+	cells := make([]Result, len(xs)*perPoint)
+	err := RunTasks(len(cells), workers, func(i int) error {
+		x := xs[i/perPoint]
+		p := policies[(i%perPoint)/seeds]
+		seed := int64(i % seeds)
+		res, err := run(x, p, seed)
+		if err != nil {
+			return fmt.Errorf("x=%g policy %v seed %d: %w", x, p, seed, err)
+		}
+		cells[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	points := make([]SweepPoint, 0, len(xs))
+	for pi, x := range xs {
+		pt := SweepPoint{X: x, ByPolicy: make(map[core.Policy]AverageResult, len(policies))}
+		for poli, p := range policies {
+			avg := AverageResult{Policy: p}
+			for seed := 0; seed < seeds; seed++ {
+				res := cells[pi*perPoint+poli*seeds+seed]
+				avg.TotalTime += res.TotalTime
+				avg.Utilization += res.Utilization
+				avg.WeightedResponse += res.WeightedResponse
+				avg.WeightedCompletion += res.WeightedCompletion
+				avg.Runs++
 			}
+			n := float64(avg.Runs)
+			avg.TotalTime /= n
+			avg.Utilization /= n
+			avg.WeightedResponse /= n
+			avg.WeightedCompletion /= n
 			pt.ByPolicy[p] = avg
 		}
 		points = append(points, pt)
 	}
 	return points, nil
+}
+
+// SubmissionGapSweep reproduces Figure 7: for each submission gap, run
+// `seeds` random 16-job workloads under every policy with T_rescale_gap =
+// 180 s and average the metrics. Runs on all CPUs; see
+// SubmissionGapSweepWorkers to pin the worker count.
+func SubmissionGapSweep(gaps []float64, jobs, seeds int, rescaleGap float64) ([]SweepPoint, error) {
+	return SubmissionGapSweepWorkers(gaps, jobs, seeds, rescaleGap, 0)
+}
+
+// SubmissionGapSweepWorkers is SubmissionGapSweep on a bounded worker pool:
+// workers <= 0 uses every CPU, workers == 1 is the sequential reference path
+// (bit-identical results either way).
+func SubmissionGapSweepWorkers(gaps []float64, jobs, seeds int, rescaleGap float64, workers int) ([]SweepPoint, error) {
+	pts, err := sweepGrid(gaps, seeds, workers, func(gap float64, p core.Policy, seed int64) (Result, error) {
+		return RunPolicy(p, RandomWorkload(jobs, gap, seed), rescaleGap)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("submission gap sweep: %w", err)
+	}
+	return pts, nil
 }
 
 // RescaleGapSweep reproduces Figure 8: fixed 180 s submission gap, varying
 // T_rescale_gap.
 func RescaleGapSweep(rescaleGaps []float64, jobs, seeds int, submissionGap float64) ([]SweepPoint, error) {
-	var points []SweepPoint
-	for _, rg := range rescaleGaps {
-		pt := SweepPoint{X: rg, ByPolicy: make(map[core.Policy]AverageResult)}
-		for _, p := range core.AllPolicies() {
-			p := p
-			rg := rg
-			avg, err := averageOver(p, seeds, func(seed int64) (Result, error) {
-				w := RandomWorkload(jobs, submissionGap, seed)
-				return RunPolicy(p, w, rg)
-			})
-			if err != nil {
-				return nil, fmt.Errorf("rescale gap %.0f policy %v: %w", rg, p, err)
-			}
-			pt.ByPolicy[p] = avg
-		}
-		points = append(points, pt)
+	return RescaleGapSweepWorkers(rescaleGaps, jobs, seeds, submissionGap, 0)
+}
+
+// RescaleGapSweepWorkers is RescaleGapSweep with an explicit worker count.
+func RescaleGapSweepWorkers(rescaleGaps []float64, jobs, seeds int, submissionGap float64, workers int) ([]SweepPoint, error) {
+	pts, err := sweepGrid(rescaleGaps, seeds, workers, func(rg float64, p core.Policy, seed int64) (Result, error) {
+		return RunPolicy(p, RandomWorkload(jobs, submissionGap, seed), rg)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rescale gap sweep: %w", err)
 	}
-	return points, nil
+	return pts, nil
+}
+
+// ScenarioSweep runs every workload scenario under every policy across
+// `seeds` seeds on the worker pool and averages the four metrics per
+// (scenario, policy) — the scenario-diversity analogue of the Figure 7/8
+// sweeps. Results are ordered like gens.
+func ScenarioSweep(gens []workload.Generator, seeds int, rescaleGap float64, workers int) ([]ScenarioResult, error) {
+	// Trace generators re-read their file on every Generate; load each once
+	// up front so a policies×seeds sweep does one parse, and every cell of
+	// one averaged result sees the same workload even if the file changes
+	// mid-sweep.
+	gens = append([]workload.Generator(nil), gens...)
+	for i, g := range gens {
+		if tr, ok := g.(workload.Trace); ok {
+			w, err := tr.Generate(0)
+			if err != nil {
+				return nil, fmt.Errorf("scenario sweep: %w", err)
+			}
+			gens[i] = workload.Replay(tr.Name(), w)
+		}
+	}
+	xs := make([]float64, len(gens))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	pts, err := sweepGrid(xs, seeds, workers, func(x float64, p core.Policy, seed int64) (Result, error) {
+		w, err := gens[int(x)].Generate(seed)
+		if err != nil {
+			return Result{}, err
+		}
+		return RunPolicy(p, w, rescaleGap)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario sweep: %w", err)
+	}
+	out := make([]ScenarioResult, len(gens))
+	for i, g := range gens {
+		out[i] = ScenarioResult{Name: g.Name(), ByPolicy: pts[i].ByPolicy}
+	}
+	return out, nil
 }
 
 // Table1Workload is the fixed configuration of §4.3.2: 16 random jobs

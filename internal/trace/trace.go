@@ -1,209 +1,56 @@
-// Package trace provides workload persistence and richer arrival-process
-// generators than the paper's fixed-gap submissions. The paper's artifact
-// generates job YAMLs from a script (generate_jobs.py); here workloads are
-// JSON documents that the simulator, the cluster emulation, and the cmd
-// tools can exchange, so one job set can be replayed across harnesses.
+// Package trace is the historical workload-persistence API, kept as a thin
+// veneer over internal/workload — the scenario engine that now owns the
+// generators and the JSON/CSV trace formats. New code should import
+// internal/workload directly; this package exists so pre-engine callers (and
+// saved traces) keep working unchanged.
 package trace
 
 import (
-	"encoding/json"
-	"fmt"
 	"io"
-	"math"
-	"math/rand"
-	"os"
-	"sort"
 
-	"elastichpc/internal/model"
 	"elastichpc/internal/sim"
+	"elastichpc/internal/workload"
 )
 
-// Document is the serialized workload format.
-type Document struct {
-	// Version guards against format drift.
-	Version int `json:"version"`
-	// Comment is free-form provenance (generator, seed, date).
-	Comment string     `json:"comment,omitempty"`
-	Jobs    []JobEntry `json:"jobs"`
-}
+// Serialized formats (unchanged wire format, version 1).
+type (
+	// Document is the serialized JSON workload format.
+	Document = workload.Document
+	// JobEntry is one serialized job submission.
+	JobEntry = workload.JobEntry
+	// Mix is a weighted class distribution for generators.
+	Mix = workload.Mix
+)
 
-// JobEntry is one serialized job submission.
-type JobEntry struct {
-	ID       string  `json:"id"`
-	Class    string  `json:"class"`
-	Priority int     `json:"priority"`
-	SubmitAt float64 `json:"submitAt"`
-}
-
-// currentVersion is the format version written by Save.
-const currentVersion = 1
-
-func classByName(name string) (model.Class, error) {
-	for _, c := range model.AllClasses() {
-		if c.String() == name {
-			return c, nil
-		}
-	}
-	return 0, fmt.Errorf("trace: unknown job class %q", name)
-}
+// UniformMix draws all four classes equally (the paper's setup).
+func UniformMix() Mix { return workload.UniformMix() }
 
 // Save writes a workload as JSON.
-func Save(w io.Writer, workload sim.Workload, comment string) error {
-	doc := Document{Version: currentVersion, Comment: comment}
-	for _, j := range workload.Jobs {
-		doc.Jobs = append(doc.Jobs, JobEntry{
-			ID: j.ID, Class: j.Class.String(), Priority: j.Priority, SubmitAt: j.SubmitAt,
-		})
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+func Save(w io.Writer, wl sim.Workload, comment string) error {
+	return workload.Save(w, wl, comment)
 }
 
 // Load reads a workload from JSON, validating classes, priorities, and
 // submission ordering.
-func Load(r io.Reader) (sim.Workload, error) {
-	var doc Document
-	if err := json.NewDecoder(r).Decode(&doc); err != nil {
-		return sim.Workload{}, fmt.Errorf("trace: decode: %w", err)
-	}
-	if doc.Version != currentVersion {
-		return sim.Workload{}, fmt.Errorf("trace: unsupported version %d", doc.Version)
-	}
-	if len(doc.Jobs) == 0 {
-		return sim.Workload{}, fmt.Errorf("trace: document has no jobs")
-	}
-	var w sim.Workload
-	seen := make(map[string]bool, len(doc.Jobs))
-	for i, e := range doc.Jobs {
-		if e.ID == "" {
-			return sim.Workload{}, fmt.Errorf("trace: job %d has no id", i)
-		}
-		if seen[e.ID] {
-			return sim.Workload{}, fmt.Errorf("trace: duplicate job id %q", e.ID)
-		}
-		seen[e.ID] = true
-		class, err := classByName(e.Class)
-		if err != nil {
-			return sim.Workload{}, err
-		}
-		if e.Priority < 1 {
-			return sim.Workload{}, fmt.Errorf("trace: job %q priority %d < 1", e.ID, e.Priority)
-		}
-		if e.SubmitAt < 0 || math.IsNaN(e.SubmitAt) || math.IsInf(e.SubmitAt, 0) {
-			return sim.Workload{}, fmt.Errorf("trace: job %q submitAt %v", e.ID, e.SubmitAt)
-		}
-		w.Jobs = append(w.Jobs, sim.JobSpec{
-			ID: e.ID, Class: class, Priority: e.Priority, SubmitAt: e.SubmitAt,
-		})
-	}
-	sort.SliceStable(w.Jobs, func(i, j int) bool { return w.Jobs[i].SubmitAt < w.Jobs[j].SubmitAt })
-	return w, nil
+func Load(r io.Reader) (sim.Workload, error) { return workload.Load(r) }
+
+// SaveFile writes a workload to path (JSON, or CSV when the path ends in
+// ".csv").
+func SaveFile(path string, wl sim.Workload, comment string) error {
+	return workload.SaveFile(path, wl, comment)
 }
 
-// SaveFile and LoadFile are path-based conveniences.
-func SaveFile(path string, workload sim.Workload, comment string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("trace: %w", err)
-	}
-	defer f.Close()
-	return Save(f, workload, comment)
-}
-
-// LoadFile reads a workload document from a file.
-func LoadFile(path string) (sim.Workload, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return sim.Workload{}, fmt.Errorf("trace: %w", err)
-	}
-	defer f.Close()
-	return Load(f)
-}
-
-// Mix is a weighted class distribution for generators. Weights need not sum
-// to 1; zero-weight classes are never drawn.
-type Mix map[model.Class]float64
-
-// UniformMix draws all four classes equally (the paper's setup).
-func UniformMix() Mix {
-	m := Mix{}
-	for _, c := range model.AllClasses() {
-		m[c] = 1
-	}
-	return m
-}
-
-func (m Mix) draw(rng *rand.Rand) (model.Class, error) {
-	var total float64
-	classes := model.AllClasses()
-	for _, c := range classes {
-		if m[c] < 0 {
-			return 0, fmt.Errorf("trace: negative weight for %v", c)
-		}
-		total += m[c]
-	}
-	if total <= 0 {
-		return 0, fmt.Errorf("trace: mix has no positive weights")
-	}
-	x := rng.Float64() * total
-	for _, c := range classes {
-		x -= m[c]
-		if x < 0 {
-			return c, nil
-		}
-	}
-	return classes[len(classes)-1], nil
-}
+// LoadFile reads a workload from a file, picking the format by extension.
+func LoadFile(path string) (sim.Workload, error) { return workload.LoadFile(path) }
 
 // Poisson generates n jobs with exponentially distributed inter-arrival
-// times of the given mean (seconds) — the bursty-traffic extension of the
-// paper's fixed-gap submission model.
+// times of the given mean (seconds) — the workload.Poisson generator.
 func Poisson(n int, meanGap float64, mix Mix, seed int64) (sim.Workload, error) {
-	if n <= 0 || meanGap < 0 {
-		return sim.Workload{}, fmt.Errorf("trace: bad poisson params n=%d mean=%g", n, meanGap)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	var w sim.Workload
-	at := 0.0
-	for i := 0; i < n; i++ {
-		class, err := mix.draw(rng)
-		if err != nil {
-			return sim.Workload{}, err
-		}
-		w.Jobs = append(w.Jobs, sim.JobSpec{
-			ID:       fmt.Sprintf("job-%02d", i),
-			Class:    class,
-			Priority: 1 + rng.Intn(5),
-			SubmitAt: at,
-		})
-		at += rng.ExpFloat64() * meanGap
-	}
-	return w, nil
+	return workload.Poisson{Jobs: n, MeanGap: meanGap, Mix: mix}.Generate(seed)
 }
 
-// Burst generates waves of simultaneous submissions: `waves` bursts of
-// `perWave` jobs, `waveGap` seconds apart — the flash-crowd pattern that
-// stresses the elastic policy's shrink path hardest.
+// Burst generates waves of simultaneous submissions — the workload.Burst
+// generator.
 func Burst(waves, perWave int, waveGap float64, mix Mix, seed int64) (sim.Workload, error) {
-	if waves <= 0 || perWave <= 0 || waveGap < 0 {
-		return sim.Workload{}, fmt.Errorf("trace: bad burst params")
-	}
-	rng := rand.New(rand.NewSource(seed))
-	var w sim.Workload
-	for wv := 0; wv < waves; wv++ {
-		for j := 0; j < perWave; j++ {
-			class, err := mix.draw(rng)
-			if err != nil {
-				return sim.Workload{}, err
-			}
-			w.Jobs = append(w.Jobs, sim.JobSpec{
-				ID:       fmt.Sprintf("job-w%02d-%02d", wv, j),
-				Class:    class,
-				Priority: 1 + rng.Intn(5),
-				SubmitAt: float64(wv) * waveGap,
-			})
-		}
-	}
-	return w, nil
+	return workload.Burst{Waves: waves, PerWave: perWave, WaveGap: waveGap, Mix: mix}.Generate(seed)
 }

@@ -1,0 +1,72 @@
+package elastichpc_test
+
+import (
+	"reflect"
+	"testing"
+
+	"elastichpc"
+)
+
+func TestFacadeScenarioEngine(t *testing.T) {
+	gens := elastichpc.DefaultScenarios()
+	if len(gens) < 4 {
+		t.Fatalf("%d default scenarios", len(gens))
+	}
+	for _, g := range gens {
+		resolved, err := elastichpc.Scenario(g.Name(), "")
+		if err != nil {
+			t.Fatalf("Scenario(%q): %v", g.Name(), err)
+		}
+		if resolved.Name() != g.Name() {
+			t.Errorf("Scenario(%q) resolved to %q", g.Name(), resolved.Name())
+		}
+	}
+
+	// A scenario drives both backends through the facade.
+	g := elastichpc.PoissonScenario{Jobs: 4, MeanGap: 60}
+	w, err := g.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := elastichpc.Simulate(elastichpc.Elastic, w, 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actRes, err := elastichpc.EmulateScenario(elastichpc.DefaultClusterConfig(elastichpc.Elastic), g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simRes.TotalTime <= 0 || actRes.TotalTime <= 0 {
+		t.Errorf("degenerate results: sim %g, actual %g", simRes.TotalTime, actRes.TotalTime)
+	}
+
+	// Save/Load round-trip through the facade.
+	path := t.TempDir() + "/wl.csv"
+	if err := elastichpc.SaveWorkload(path, w, "facade test"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := elastichpc.LoadWorkload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, w) {
+		t.Error("workload round trip through facade mismatched")
+	}
+
+	// Parallel scenario sweep matches the sequential reference.
+	small := []elastichpc.WorkloadGenerator{
+		elastichpc.UniformScenario{Jobs: 4, Gap: 60},
+		elastichpc.ReplayWorkload("fixed", w),
+	}
+	seq, err := elastichpc.ScenarioSweep(small, 2, 180, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := elastichpc.ScenarioSweep(small, 2, 180, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("facade scenario sweep diverges under parallel execution")
+	}
+}
