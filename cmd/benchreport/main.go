@@ -1,0 +1,164 @@
+// Command benchreport turns `go test -bench` output into the machine-readable
+// metrics.Report JSON and diffs two such reports against regression
+// thresholds — the tool behind CI's benchmark gate.
+//
+// Emit a report from benchmark output (stdin or -in):
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./internal/sim/ | benchreport -emit -out BENCH_PR.json
+//
+// Compare a candidate against the committed baseline (exit 1 on regression):
+//
+//	benchreport -baseline BENCH_BASELINE.json -candidate BENCH_PR.json -threshold 0.20
+//
+// The default comparison metric is ns/op (lower is better). With -metric,
+// any recorded metric can gate instead; metrics whose unit ends in "/s"
+// (e.g. the simulator's jobs/s) are treated as higher-is-better.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"strings"
+
+	"elastichpc/internal/metrics"
+)
+
+func main() {
+	var (
+		emit         = flag.Bool("emit", false, "parse `go test -bench` output into a report")
+		in           = flag.String("in", "-", "benchmark output to parse (- = stdin)")
+		out          = flag.String("out", "", "report path to write with -emit")
+		tool         = flag.String("tool", "benchreport", "tool name recorded in emitted reports")
+		baseline     = flag.String("baseline", "", "baseline report for comparison")
+		candidate    = flag.String("candidate", "", "candidate report for comparison")
+		threshold    = flag.Float64("threshold", 0.20, "allowed relative regression (0.20 = 20%)")
+		metric       = flag.String("metric", "ns/op", "metric to gate on")
+		match        = flag.String("match", "", "regexp of benchmark names to gate on (others shown informationally); empty = all")
+		allowMissing = flag.Bool("allow-missing", false, "tolerate baseline benchmarks absent from the candidate")
+	)
+	flag.Parse()
+
+	switch {
+	case *emit:
+		if *out == "" {
+			log.Fatal("-emit needs -out")
+		}
+		src := os.Stdin
+		if *in != "-" {
+			f, err := os.Open(*in)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			src = f
+		}
+		report, err := parse(src, *tool)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := metrics.Write(*out, report); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
+	case *baseline != "" && *candidate != "":
+		base, err := metrics.Read(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cand, err := metrics.Read(*candidate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var gate *regexp.Regexp
+		if *match != "" {
+			gate, err = regexp.Compile(*match)
+			if err != nil {
+				log.Fatalf("-match: %v", err)
+			}
+		}
+		regressions := compare(base, cand, *metric, *threshold, *allowMissing, gate)
+		if regressions > 0 {
+			fmt.Printf("\n%d regression(s) beyond ±%.0f%% on %s\n", regressions, 100**threshold, *metric)
+			os.Exit(1)
+		}
+		fmt.Printf("\nno regressions beyond ±%.0f%% on %s\n", 100**threshold, *metric)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parse(src io.Reader, tool string) (metrics.Report, error) {
+	return metrics.ParseGoBench(src, tool)
+}
+
+// value extracts the gating metric from a benchmark result.
+func value(b metrics.Benchmark, metric string) (float64, bool) {
+	switch metric {
+	case "ns/op":
+		return b.NsPerOp, b.NsPerOp > 0
+	case "B/op":
+		return b.BytesPerOp, b.BytesPerOp > 0
+	case "allocs/op":
+		return b.AllocsPerOp, b.AllocsPerOp > 0
+	default:
+		// A zero baseline makes the ratio meaningless (Inf/NaN), so such
+		// rows are skipped like the built-in metrics' zero values.
+		v, ok := b.Custom[metric]
+		return v, ok && v > 0
+	}
+}
+
+// compare prints a per-benchmark table and returns the regression count.
+// Benchmarks not matching the gate regexp are reported but never fail the
+// comparison — sub-millisecond micro-benchmarks are too noisy at
+// -benchtime=1x for a hard threshold.
+func compare(base, cand metrics.Report, metric string, threshold float64, allowMissing bool, gate *regexp.Regexp) int {
+	higherBetter := strings.HasSuffix(metric, "/s")
+	candidates := make(map[string]metrics.Benchmark, len(cand.Benchmarks))
+	for _, b := range cand.Benchmarks {
+		candidates[b.Name] = b
+	}
+	fmt.Printf("%-40s %14s %14s %8s  %s\n", "benchmark", "baseline", "candidate", "Δ", "verdict")
+	regressions := 0
+	for _, b := range base.Benchmarks {
+		gated := gate == nil || gate.MatchString(b.Name)
+		c, ok := candidates[b.Name]
+		if !ok {
+			if !gated || allowMissing {
+				fmt.Printf("%-40s %14s %14s %8s  skipped (missing)\n", b.Name, "-", "-", "-")
+				continue
+			}
+			fmt.Printf("%-40s %14s %14s %8s  MISSING\n", b.Name, "-", "-", "-")
+			regressions++
+			continue
+		}
+		bv, bok := value(b, metric)
+		cv, cok := value(c, metric)
+		if !bok || !cok {
+			fmt.Printf("%-40s %14s %14s %8s  skipped (no %s)\n", b.Name, "-", "-", "-", metric)
+			continue
+		}
+		delta := cv/bv - 1
+		worse := delta > threshold
+		if higherBetter {
+			worse = delta < -threshold
+		}
+		verdict := "ok"
+		switch {
+		case worse && gated:
+			verdict = "REGRESSION"
+			regressions++
+		case worse:
+			verdict = "slower (ungated)"
+		case (higherBetter && delta > threshold) || (!higherBetter && delta < -threshold):
+			verdict = "improved"
+		}
+		fmt.Printf("%-40s %14.4g %14.4g %+7.1f%%  %s\n", b.Name, bv, cv, 100*delta, verdict)
+	}
+	return regressions
+}

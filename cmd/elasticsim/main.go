@@ -14,6 +14,7 @@
 //	elasticsim -seeds 100 -jobs 16         # paper-scale averaging
 //	elasticsim -parallel 1 -sweep gap      # sequential reference run
 //	elasticsim -scenario burst -save-workload wl.json   # export a workload
+//	elasticsim -table1 -json table1.json   # also write a metrics.Report
 package main
 
 import (
@@ -21,8 +22,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 
 	"elastichpc/internal/core"
+	"elastichpc/internal/metrics"
 	"elastichpc/internal/sim"
 	"elastichpc/internal/workload"
 )
@@ -38,11 +41,16 @@ func main() {
 		parallel = flag.Int("parallel", 0, "sweep worker count (0 = all CPUs, 1 = sequential)")
 		seed     = flag.Int64("seed", 7, "seed for -scenario / -save-workload runs")
 		saveWL   = flag.String("save-workload", "", "write the selected scenario's workload to this path and exit")
+		jsonPath = flag.String("json", "", "also write the results as a metrics.Report to this path")
 		workldFl = flag.String("workload", "", "deprecated alias of -trace")
 	)
 	flag.Parse()
 	if *tracePth == "" {
 		*tracePth = *workldFl
+	}
+	var report *metrics.Report
+	params := map[string]string{
+		"jobs": strconv.Itoa(*jobs), "seeds": strconv.Itoa(*seeds), "seed": strconv.FormatInt(*seed, 10),
 	}
 
 	switch {
@@ -71,6 +79,10 @@ func main() {
 			log.Fatal(err)
 		}
 		printSweep(xName, points)
+		r := metrics.New("elasticsim", metrics.KindSweep)
+		r.Params = params
+		r.Sweeps = []metrics.Sweep{metrics.FromSweep(xName, xName+" (s)", points)}
+		report = &r
 	case *sweep == "scenario":
 		// Default: every built-in scenario, plus the trace if one is given.
 		// With -scenario, sweep just that one.
@@ -93,10 +105,14 @@ func main() {
 			log.Fatal(err)
 		}
 		printScenarios(results)
+		r := metrics.New("elasticsim", metrics.KindSweep)
+		r.Params = params
+		r.Sweeps = []metrics.Sweep{metrics.FromScenarios(results)}
+		report = &r
 	case *sweep != "":
 		log.Fatalf(`unknown sweep %q (have "gap", "rescale", "scenario")`, *sweep)
 	case *table1:
-		runTable1()
+		report = runTable1(params)
 	case *scenario != "" || *tracePth != "":
 		if *scenario == "" {
 			*scenario = "trace"
@@ -109,10 +125,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		runWorkload(g.Name(), w)
+		report = runWorkload(g.Name(), w, params)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		if report == nil {
+			log.Fatalf("-json: mode produces no metrics report")
+		}
+		if err := metrics.Write(*jsonPath, *report); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
 }
 
@@ -158,10 +184,12 @@ func printScenarios(results []sim.ScenarioResult) {
 	}
 }
 
-func runWorkload(name string, w sim.Workload) {
+func runWorkload(name string, w sim.Workload, params map[string]string) *metrics.Report {
 	fmt.Printf("Replaying %d-job %s workload under all policies (T_rescale_gap = 180 s)\n", len(w.Jobs), name)
 	fmt.Printf("%-14s %12s %12s %16s %18s\n",
 		"Scheduler", "Total (s)", "Utilization", "W. response (s)", "W. completion (s)")
+	rep := metrics.New("elasticsim", metrics.KindRun)
+	rep.Params = params
 	for _, p := range core.AllPolicies() {
 		r, err := sim.RunPolicy(p, w, 180)
 		if err != nil {
@@ -169,10 +197,12 @@ func runWorkload(name string, w sim.Workload) {
 		}
 		fmt.Printf("%-14s %12.0f %11.2f%% %16.2f %18.2f\n",
 			p, r.TotalTime, 100*r.Utilization, r.WeightedResponse, r.WeightedCompletion)
+		rep.Runs = append(rep.Runs, metrics.FromResult(name, r))
 	}
+	return &rep
 }
 
-func runTable1() {
+func runTable1(params map[string]string) *metrics.Report {
 	results, err := sim.Table1Simulation()
 	if err != nil {
 		log.Fatal(err)
@@ -180,9 +210,13 @@ func runTable1() {
 	fmt.Println("Table 1 (Simulation columns): 16 jobs, 90 s submission gap, T_rescale_gap = 180 s")
 	fmt.Printf("%-14s %12s %12s %16s %18s\n",
 		"Scheduler", "Total (s)", "Utilization", "W. response (s)", "W. completion (s)")
+	rep := metrics.New("elasticsim", metrics.KindRun)
+	rep.Params = params
 	for _, p := range core.AllPolicies() {
 		r := results[p]
 		fmt.Printf("%-14s %12.0f %11.2f%% %16.2f %18.2f\n",
 			p, r.TotalTime, 100*r.Utilization, r.WeightedResponse, r.WeightedCompletion)
+		rep.Runs = append(rep.Runs, metrics.FromResult("table1", r))
 	}
+	return &rep
 }

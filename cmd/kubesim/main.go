@@ -18,6 +18,7 @@ import (
 	"elastichpc/internal/chart"
 	"elastichpc/internal/cluster"
 	"elastichpc/internal/core"
+	"elastichpc/internal/metrics"
 	"elastichpc/internal/model"
 	"elastichpc/internal/sim"
 )
@@ -31,21 +32,30 @@ func main() {
 		xlarge   = flag.Bool("xlarge-timeline", false, "print Figure 9b replica timeline")
 		sweep    = flag.Bool("sweep", false, "cross-validate the Figure 7 submission-gap sweep through the emulation")
 		seeds    = flag.Int("seeds", 3, "workloads per sweep point (emulation sweeps are slower than DES)")
+		jsonPath = flag.String("json", "", "also write the results as a metrics.Report to this path")
 	)
 	flag.Parse()
 
+	var report *metrics.Report
 	switch {
 	case *table1:
-		runTable1()
+		report = runTable1()
 	case *profiles:
-		runProfiles()
+		report = runProfiles()
 	case *xlarge:
-		runXLargeTimeline()
+		report = runXLargeTimeline()
 	case *sweep:
-		runSweep(*seeds)
+		report = runSweep(*seeds)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		if err := metrics.Write(*jsonPath, *report); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
 }
 
@@ -53,9 +63,12 @@ func main() {
 // emulation — the cross-validation the paper could not afford on real EKS
 // (their sweep is simulation-only because "an experimental study ... would
 // be infeasible"; a deterministic virtual-clock emulation makes it cheap).
-func runSweep(seeds int) {
+func runSweep(seeds int) *metrics.Report {
+	rep := metrics.New("kubesim", metrics.KindSweep)
+	sw := metrics.Sweep{Name: "submission_gap_actual", X: "submission gap (s)"}
 	fmt.Println("submission_gap,policy,utilization,total_time_s,weighted_response_s,weighted_completion_s")
 	for _, gap := range []float64{0, 60, 120, 180, 240, 300} {
+		pt := metrics.Point{X: gap}
 		for _, p := range core.AllPolicies() {
 			var util, total, resp, comp float64
 			for seed := int64(0); seed < int64(seeds); seed++ {
@@ -71,11 +84,19 @@ func runSweep(seeds int) {
 			}
 			n := float64(seeds)
 			fmt.Printf("%.0f,%s,%.4f,%.1f,%.2f,%.2f\n", gap, p, util/n, total/n, resp/n, comp/n)
+			pt.Runs = append(pt.Runs, metrics.Run{
+				Policy: p.String(), Seeds: seeds, Jobs: 16,
+				TotalTime: total / n, Utilization: util / n,
+				WeightedResponse: resp / n, WeightedCompletion: comp / n,
+			})
 		}
+		sw.Points = append(sw.Points, pt)
 	}
+	rep.Sweeps = []metrics.Sweep{sw}
+	return &rep
 }
 
-func runTable1() {
+func runTable1() *metrics.Report {
 	results, err := cluster.Table1Actual()
 	if err != nil {
 		log.Fatal(err)
@@ -87,6 +108,7 @@ func runTable1() {
 	fmt.Println("Table 1: Actual (full k8s emulation) vs Simulation (DES), same fixed 16-job workload")
 	fmt.Printf("%-14s %10s %10s | %8s %8s | %9s %9s | %9s %9s\n",
 		"Scheduler", "Tot.act", "Tot.sim", "Util.act", "Util.sim", "Resp.act", "Resp.sim", "Comp.act", "Comp.sim")
+	rep := metrics.New("kubesim", metrics.KindRun)
 	for _, p := range core.AllPolicies() {
 		a, s := results[p], simResults[p]
 		fmt.Printf("%-14s %10.0f %10.0f | %7.2f%% %7.2f%% | %9.2f %9.2f | %9.2f %9.2f\n",
@@ -94,20 +116,25 @@ func runTable1() {
 			100*a.Utilization, 100*s.Utilization,
 			a.WeightedResponse, s.WeightedResponse,
 			a.WeightedCompletion, s.WeightedCompletion)
+		rep.Runs = append(rep.Runs,
+			metrics.FromResult("table1-actual", a), metrics.FromResult("table1-sim", s))
 	}
+	return &rep
 }
 
-func runProfiles() {
+func runProfiles() *metrics.Report {
 	w := sim.Table1Workload()
 	var series []chart.Series
 	if !*ascii {
 		fmt.Println("policy,t_seconds,used_slots")
 	}
+	rep := metrics.New("kubesim", metrics.KindRun)
 	for _, p := range core.AllPolicies() {
 		res, err := cluster.RunExperiment(cluster.DefaultConfig(p), w)
 		if err != nil {
 			log.Fatal(err)
 		}
+		rep.Runs = append(rep.Runs, metrics.FromResult("fig9a", res))
 		if *ascii {
 			s := chart.Series{Name: fmt.Sprintf("%s (mean %.1f%%)", p, 100*res.Utilization)}
 			for _, u := range res.UtilTimeline {
@@ -123,9 +150,10 @@ func runProfiles() {
 	if *ascii {
 		fmt.Print(chart.RenderMulti(series, chart.Options{Width: 72, Height: 8, YMin: 0, YMax: 64, YLabel: "busy worker slots"}))
 	}
+	return &rep
 }
 
-func runXLargeTimeline() {
+func runXLargeTimeline() *metrics.Report {
 	w := sim.Table1Workload()
 	res, err := cluster.RunExperiment(cluster.DefaultConfig(core.Elastic), w)
 	if err != nil {
@@ -152,4 +180,8 @@ func runXLargeTimeline() {
 	for _, s := range res.ReplicaTimelines[best] {
 		fmt.Printf("%.1f,%d\n", s.At, s.Replicas)
 	}
+	rep := metrics.New("kubesim", metrics.KindRun)
+	rep.Params = map[string]string{"job": best}
+	rep.Runs = []metrics.Run{metrics.FromResult("fig9b", res)}
+	return &rep
 }

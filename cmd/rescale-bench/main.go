@@ -26,6 +26,7 @@ import (
 
 	"elastichpc/internal/apps"
 	"elastichpc/internal/charm"
+	"elastichpc/internal/metrics"
 	"elastichpc/internal/sim"
 	"elastichpc/internal/workload"
 )
@@ -45,6 +46,7 @@ func main() {
 		tracePth = flag.String("trace", "", "workload trace file for -scenario trace (implies it)")
 		seed     = flag.Int64("seed", 7, "scenario generation seed")
 		parallel = flag.Int("parallel", 1, "measurement points to run concurrently (timings get noisier above 1)")
+		jsonPath = flag.String("json", "", "also write the phase breakdown as a metrics.Report (kind bench); not supported by -mode timeline")
 	)
 	flag.Parse()
 	if *tracePth != "" && *scenario == "" {
@@ -81,6 +83,9 @@ func main() {
 			points = append(points, point{x: n, from: 32, to: 16, grid: n})
 		}
 	case "timeline":
+		if *jsonPath != "" {
+			log.Fatal("-json does not apply to -mode timeline (per-iteration series has no report form)")
+		}
 		runTimeline(*scale, *iters)
 		return
 	default:
@@ -93,15 +98,37 @@ func main() {
 		header = "grid"
 	}
 	fmt.Printf("%s,lb_s,ckpt_s,restart_s,restore_s,total_s,bytes\n", header)
-	rows := make([]string, len(points))
+	rows := make([]charm.RescaleStats, len(points))
 	if err := sim.RunTasks(len(points), *parallel, func(i int) error {
 		rows[i] = runOnce(points[i], *iters)
 		return nil
 	}); err != nil {
 		log.Fatal(err)
 	}
-	for _, row := range rows {
-		fmt.Print(row)
+	rep := metrics.New("rescale-bench", metrics.KindBench)
+	for i, pt := range points {
+		s := rows[i]
+		fmt.Printf("%d,%.4f,%.4f,%.4f,%.4f,%.4f,%d\n", pt.x,
+			s.LoadBalance.Seconds(), s.Checkpoint.Seconds(), s.Restart.Seconds(),
+			s.Restore.Seconds(), s.Total.Seconds(), s.CheckpointBytes)
+		rep.Benchmarks = append(rep.Benchmarks, metrics.Benchmark{
+			Name:       fmt.Sprintf("Fig5Rescale/%s/%s=%d", *mode, header, pt.x),
+			Iterations: 1,
+			NsPerOp:    float64(s.Total.Nanoseconds()), // one op = one full rescale
+			Custom: map[string]float64{
+				"lb_s":      s.LoadBalance.Seconds(),
+				"ckpt_s":    s.Checkpoint.Seconds(),
+				"restart_s": s.Restart.Seconds(),
+				"restore_s": s.Restore.Seconds(),
+				"bytes":     float64(s.CheckpointBytes),
+			},
+		})
+	}
+	if *jsonPath != "" {
+		if err := metrics.Write(*jsonPath, rep); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
 }
 
@@ -123,8 +150,8 @@ func sizeGrids(scenario, tracePath string, seed int64, scale int) ([]int, string
 }
 
 // runOnce runs a Jacobi solve on pt.from PEs, rescales to pt.to, and returns
-// the phase-breakdown CSV row.
-func runOnce(pt point, iters int) string {
+// the phase breakdown.
+func runOnce(pt point, iters int) charm.RescaleStats {
 	rt, err := charm.New(charm.Config{PEs: pt.from})
 	if err != nil {
 		log.Fatal(err)
@@ -149,10 +176,7 @@ func runOnce(pt point, iters int) string {
 	if len(stats) == 0 {
 		log.Fatalf("no rescale recorded for %d->%d", pt.from, pt.to)
 	}
-	s := stats[len(stats)-1]
-	return fmt.Sprintf("%d,%.4f,%.4f,%.4f,%.4f,%.4f,%d\n", pt.x,
-		s.LoadBalance.Seconds(), s.Checkpoint.Seconds(), s.Restart.Seconds(),
-		s.Restore.Seconds(), s.Total.Seconds(), s.CheckpointBytes)
+	return stats[len(stats)-1]
 }
 
 // chareGrid factors n into a near-square bx×by decomposition.

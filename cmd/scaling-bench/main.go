@@ -27,6 +27,7 @@ import (
 
 	"elastichpc/internal/apps"
 	"elastichpc/internal/charm"
+	"elastichpc/internal/metrics"
 	"elastichpc/internal/sim"
 	"elastichpc/internal/workload"
 )
@@ -41,6 +42,7 @@ func main() {
 		tracePth = flag.String("trace", "", "workload trace file for -scenario trace (implies it)")
 		seed     = flag.Int64("seed", 7, "scenario generation seed")
 		parallel = flag.Int("parallel", 1, "benchmark cells to run concurrently (timings get noisier above 1)")
+		jsonPath = flag.String("json", "", "also write the cells as a metrics.Report (kind bench) to this path")
 	)
 	flag.Parse()
 	if *tracePth != "" && *scenario == "" {
@@ -80,9 +82,16 @@ func main() {
 		}); err != nil {
 			log.Fatal(err)
 		}
+		rep := metrics.New("scaling-bench", metrics.KindBench)
 		for i, c := range cells {
 			fmt.Printf("%d,%d,%.6f\n", c.grid, c.pes, times[i])
+			rep.Benchmarks = append(rep.Benchmarks, metrics.Benchmark{
+				Name:       fmt.Sprintf("Fig4aJacobi/grid=%d/replicas=%d", c.grid, c.pes),
+				Iterations: int64(*iters),
+				NsPerOp:    times[i] * 1e9, // one op = one solver iteration
+			})
 		}
+		writeReport(*jsonPath, rep)
 	case "leanmd":
 		if *scenario != "" {
 			// Scenario job classes map to Jacobi grids; LeanMD's cell grids
@@ -108,13 +117,31 @@ func main() {
 		}); err != nil {
 			log.Fatal(err)
 		}
+		rep := metrics.New("scaling-bench", metrics.KindBench)
 		for i, c := range cells {
 			fmt.Printf("%dx%dx%d,%d,%.6f\n", c.dims[0], c.dims[1], c.dims[2], c.pes, times[i])
+			rep.Benchmarks = append(rep.Benchmarks, metrics.Benchmark{
+				Name:       fmt.Sprintf("Fig4bLeanMD/cells=%dx%dx%d/replicas=%d", c.dims[0], c.dims[1], c.dims[2], c.pes),
+				Iterations: int64(*iters),
+				NsPerOp:    times[i] * 1e9, // one op = one MD step
+			})
 		}
+		writeReport(*jsonPath, rep)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// writeReport writes the metrics report when -json was given.
+func writeReport(path string, rep metrics.Report) {
+	if path == "" {
+		return
+	}
+	if err := metrics.Write(path, rep); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }
 
 // jacobiGrids picks the grid sizes to benchmark: Figure 4a's fixed list, or —

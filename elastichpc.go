@@ -18,11 +18,18 @@
 //     rigid-min / rigid-max / moldable baselines (internal/core);
 //   - a discrete-event scheduling simulator with calibrated performance
 //     models (internal/sim, internal/model) and a full-stack deterministic
-//     cluster emulation on a virtual clock (internal/cluster);
+//     cluster emulation on a virtual clock (internal/cluster); the simulator
+//     pools its events and job records, indexes the scheduler's wait queue,
+//     and offers a streaming result mode that sustains million-job
+//     workloads in O(running jobs) memory;
 //   - a workload-scenario engine (internal/workload) whose generators —
 //     uniform, Poisson, bursty, diurnal, and trace replay — feed both the
 //     simulator and the emulation, with parallel sweep harnesses over
-//     scenarios, policies, and seeds.
+//     scenarios, policies, and seeds;
+//   - a versioned, machine-readable experiment-report schema
+//     (internal/metrics) that every harness CLI emits via -json and that
+//     cmd/benchreport diffs against regression thresholds — the format
+//     behind CI's benchmark gate and its BENCH_BASELINE.json.
 //
 // This file is the stable facade: examples and external-style consumers use
 // these re-exports rather than reaching into internal packages directly.
@@ -36,6 +43,7 @@ import (
 	"elastichpc/internal/charm"
 	"elastichpc/internal/cluster"
 	"elastichpc/internal/core"
+	"elastichpc/internal/metrics"
 	"elastichpc/internal/model"
 	"elastichpc/internal/shm"
 	"elastichpc/internal/sim"
@@ -159,6 +167,13 @@ func Simulate(p Policy, w Workload, rescaleGapSeconds float64) (SimResult, error
 	return sim.RunPolicy(p, w, rescaleGapSeconds)
 }
 
+// SimulateStreaming is Simulate in streaming mode: only the aggregate
+// metrics are computed, in O(running jobs) memory, so million-job workloads
+// are practical. The result's per-job fields are nil.
+func SimulateStreaming(p Policy, w Workload, rescaleGapSeconds float64) (SimResult, error) {
+	return sim.RunPolicyStreaming(p, w, rescaleGapSeconds)
+}
+
 // Workload scenarios (the internal/workload engine): generators produce
 // reproducible workloads that drive both Simulate and Emulate, and sweeps
 // fan out over a bounded worker pool.
@@ -230,6 +245,36 @@ func ScenarioSweep(gens []WorkloadGenerator, seeds int, rescaleGapSeconds float6
 // full k8s+operator emulation.
 func EmulateScenario(cfg ClusterConfig, g WorkloadGenerator, seed int64) (SimResult, error) {
 	return cluster.RunGenerator(cfg, g, seed)
+}
+
+// Experiment reports (internal/metrics): the versioned machine-readable
+// schema every harness emits and cmd/benchreport diffs.
+type (
+	// MetricsReport is the top-level versioned experiment report.
+	MetricsReport = metrics.Report
+	// MetricsRun is one experiment outcome (the paper's four metrics).
+	MetricsRun = metrics.Run
+	// MetricsSweep is one parameter sweep inside a report.
+	MetricsSweep = metrics.Sweep
+	// MetricsBenchmark is one parsed `go test -bench` result.
+	MetricsBenchmark = metrics.Benchmark
+	// MetricsKind classifies a report: run, sweep, or bench.
+	MetricsKind = metrics.Kind
+)
+
+// NewMetricsReport starts a report of the given kind.
+func NewMetricsReport(tool string, kind MetricsKind) MetricsReport { return metrics.New(tool, kind) }
+
+// WriteMetricsReport validates and writes a report as indented JSON.
+func WriteMetricsReport(path string, r MetricsReport) error { return metrics.Write(path, r) }
+
+// ReadMetricsReport loads and validates a report.
+func ReadMetricsReport(path string) (MetricsReport, error) { return metrics.Read(path) }
+
+// ResultToMetricsRun converts a simulation or emulation result to its
+// report form.
+func ResultToMetricsRun(name string, res SimResult) MetricsRun {
+	return metrics.FromResult(name, res)
 }
 
 // Cluster emulation (paper §4.3.2).

@@ -111,3 +111,35 @@ func TestFacadeSchedulerPolicies(t *testing.T) {
 		}
 	}
 }
+
+func TestFacadeStreamingAndMetricsReport(t *testing.T) {
+	w := elastichpc.RandomWorkload(8, 90, 2)
+	retained, err := elastichpc.Simulate(elastichpc.Elastic, w, 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streaming, err := elastichpc.SimulateStreaming(elastichpc.Elastic, w, 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streaming.TotalTime != retained.TotalTime || streaming.Utilization != retained.Utilization {
+		t.Errorf("streaming aggregates diverge: %+v vs %+v", streaming, retained)
+	}
+	if streaming.Jobs != nil {
+		t.Error("streaming result retained per-job metrics")
+	}
+
+	rep := elastichpc.NewMetricsReport("facade-test", "run")
+	rep.Runs = []elastichpc.MetricsRun{elastichpc.ResultToMetricsRun("uniform", retained)}
+	path := t.TempDir() + "/report.json"
+	if err := elastichpc.WriteMetricsReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := elastichpc.ReadMetricsReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Runs) != 1 || back.Runs[0].Policy != "elastic" || back.Runs[0].TotalTime != retained.TotalTime {
+		t.Errorf("report round trip mismatch: %+v", back)
+	}
+}

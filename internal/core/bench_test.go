@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+type benchActuator struct{}
+
+func (benchActuator) StartJob(*Job, int) error  { return nil }
+func (benchActuator) ShrinkJob(*Job, int) error { return nil }
+func (benchActuator) ExpandJob(*Job, int) error { return nil }
+func (benchActuator) PreemptJob(*Job) error     { return nil }
+
+// BenchmarkSchedulerBacklog measures scheduling-event throughput against a
+// deep waiting queue: 10k jobs pour into a 64-slot cluster, then completions
+// drain it, so every event runs the enqueue/redistribute paths against a
+// thousands-deep backlog — the regime the indexed job queue exists for.
+func BenchmarkSchedulerBacklog(b *testing.B) {
+	const jobs = 10_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now := time.Unix(0, 0)
+		s, err := NewScheduler(Config{Policy: Elastic, Capacity: 64, RescaleGap: time.Minute},
+			benchActuator{}, func() time.Time { return now })
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < jobs; j++ {
+			job := &Job{
+				ID:          fmt.Sprintf("j%05d", j),
+				Priority:    1 + j%5,
+				MinReplicas: 2 + j%4,
+				MaxReplicas: 8 + j%16,
+			}
+			if err := s.Submit(job); err != nil {
+				b.Fatal(err)
+			}
+			now = now.Add(time.Second)
+		}
+		completed := 0
+		for s.NumRunning() > 0 {
+			for _, j := range s.Running() {
+				s.OnJobComplete(j)
+				completed++
+			}
+			now = now.Add(90 * time.Second)
+			s.Reschedule()
+		}
+		if completed != jobs {
+			b.Fatalf("completed %d of %d", completed, jobs)
+		}
+	}
+}

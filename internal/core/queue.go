@@ -1,0 +1,133 @@
+package core
+
+import "math"
+
+// maxSlotNeed is the "queue is empty" sentinel for Scheduler.minNeed.
+const maxSlotNeed = math.MaxInt
+
+// jobQueue is the scheduler's indexed wait queue: a binary max-heap of queued
+// (and preempted) jobs ordered like byPriority — decreasing effective
+// priority, ties broken by earlier submission, then ID. It replaces the
+// sorted-slice queue whose full re-sort on every enqueue made million-job
+// backlogs O(n log n) per scheduling event; heap operations are O(log n).
+//
+// The heap invariant survives the passage of time: queued jobs all age at the
+// same AgingRate, so their relative order is constant. The one exception is a
+// mixed queue of aged and preempted jobs (preempted jobs do not age) — the
+// scheduler re-establishes the invariant with init before draining in that
+// configuration.
+type jobQueue struct {
+	s    *Scheduler
+	jobs []*Job
+	// spare is the previously drained backing array, recycled so a
+	// Reschedule-heavy workload ping-pongs between two arrays instead of
+	// regrowing the queue from scratch after every drain.
+	spare []*Job
+}
+
+// Len reports the number of waiting jobs.
+func (q *jobQueue) Len() int { return len(q.jobs) }
+
+// before reports whether a schedules ahead of b (byPriority order).
+func (q *jobQueue) before(a, b *Job) bool {
+	pa, pb := q.s.effPriority(a), q.s.effPriority(b)
+	if pa != pb {
+		return pa > pb
+	}
+	if !a.SubmitTime.Equal(b.SubmitTime) {
+		return a.SubmitTime.Before(b.SubmitTime)
+	}
+	return a.ID < b.ID
+}
+
+// push inserts a job.
+func (q *jobQueue) push(j *Job) {
+	q.jobs = append(q.jobs, j)
+	q.up(len(q.jobs) - 1)
+}
+
+// peek returns the highest-priority job without removing it. The queue must
+// be non-empty.
+func (q *jobQueue) peek() *Job { return q.jobs[0] }
+
+// pop removes and returns the highest-priority job. The queue must be
+// non-empty.
+func (q *jobQueue) pop() *Job {
+	top := q.jobs[0]
+	n := len(q.jobs) - 1
+	q.jobs[0] = q.jobs[n]
+	q.jobs[n] = nil
+	q.jobs = q.jobs[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	return top
+}
+
+func (q *jobQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.before(q.jobs[i], q.jobs[parent]) {
+			return
+		}
+		q.jobs[i], q.jobs[parent] = q.jobs[parent], q.jobs[i]
+		i = parent
+	}
+}
+
+func (q *jobQueue) down(i int) {
+	n := len(q.jobs)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			return
+		}
+		if r := child + 1; r < n && q.before(q.jobs[r], q.jobs[child]) {
+			child = r
+		}
+		if !q.before(q.jobs[child], q.jobs[i]) {
+			return
+		}
+		q.jobs[i], q.jobs[child] = q.jobs[child], q.jobs[i]
+		i = child
+	}
+}
+
+// init re-establishes the heap invariant over the whole queue in O(n).
+func (q *jobQueue) init() {
+	for i := len(q.jobs)/2 - 1; i >= 0; i-- {
+		q.down(i)
+	}
+}
+
+// bulkAdd appends a batch of jobs and rebuilds the heap — O(n), cheaper than
+// len(batch) pushes when re-queueing a drained backlog.
+func (q *jobQueue) bulkAdd(jobs []*Job) {
+	q.jobs = append(q.jobs, jobs...)
+	q.init()
+}
+
+// drainSorted empties the queue and returns every job in decreasing priority
+// order. Callers hand the slice back via recycleDrained when done.
+func (q *jobQueue) drainSorted() []*Job {
+	out := q.jobs
+	q.jobs = q.spare[:0]
+	q.spare = nil
+	sortByPriority(out, q.s.effPriority)
+	return out
+}
+
+// recycleDrained reclaims a drainSorted slice's capacity once its jobs have
+// been re-placed.
+func (q *jobQueue) recycleDrained(drained []*Job) {
+	clear(drained)
+	q.spare = drained[:0]
+}
+
+// sorted returns the waiting jobs in decreasing priority order without
+// disturbing the heap.
+func (q *jobQueue) sorted() []*Job {
+	out := append([]*Job(nil), q.jobs...)
+	sortByPriority(out, q.s.effPriority)
+	return out
+}

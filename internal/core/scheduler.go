@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 )
 
@@ -118,9 +119,20 @@ type Scheduler struct {
 	now func() time.Time
 
 	running []*Job
-	queued  []*Job
+	queue   jobQueue
+	// minNeed is a conservative lower bound (never above the true value) on
+	// the smallest slot count any waiting job needs to start, maxSlotNeed
+	// when the queue is empty. redistribute uses it to skip scanning
+	// backlogs that cannot possibly place a job.
+	minNeed int
 	free    int
 	log     []Decision
+
+	// Scratch buffers reused across scheduling passes so the hot path
+	// allocates nothing per event.
+	runScratch  []*Job
+	popScratch  []*Job
+	needScratch []int
 }
 
 // NewScheduler creates a scheduler over an empty cluster with the given
@@ -136,17 +148,32 @@ func NewScheduler(cfg Config, act Actuator, now func() time.Time) (*Scheduler, e
 		// Moldable = elastic that never rescales (paper §4.3.2).
 		cfg.RescaleGap = time.Duration(math.MaxInt64)
 	}
-	return &Scheduler{cfg: cfg, act: act, now: now, free: cfg.Capacity}, nil
+	s := &Scheduler{cfg: cfg, act: act, now: now, free: cfg.Capacity, minNeed: maxSlotNeed}
+	s.queue.s = s
+	return s, nil
 }
 
 // FreeSlots reports the scheduler's current free-slot count.
 func (s *Scheduler) FreeSlots() int { return s.free }
 
-// Running returns the running jobs in decreasing priority order.
+// Running returns a copy of the running jobs in decreasing priority order.
 func (s *Scheduler) Running() []*Job { return append([]*Job(nil), s.running...) }
 
-// Queued returns the queued jobs in decreasing priority order.
-func (s *Scheduler) Queued() []*Job { return append([]*Job(nil), s.queued...) }
+// Queued returns a copy of the queued jobs in decreasing priority order.
+func (s *Scheduler) Queued() []*Job { return s.queue.sorted() }
+
+// NumRunning reports the running-job count without copying (the per-event
+// fast path for drivers that only need the length).
+func (s *Scheduler) NumRunning() int { return len(s.running) }
+
+// NumQueued reports the waiting-job count without copying or sorting.
+func (s *Scheduler) NumQueued() int { return s.queue.Len() }
+
+// jobNeed is the smallest slot count j needs to start under the policy.
+func (s *Scheduler) jobNeed(j *Job) int {
+	jmin, _ := s.bounds(j)
+	return jmin + s.cfg.JobOverheadSlots
+}
 
 // Utilization reports the fraction of capacity currently allocated to
 // workers (launcher overhead counts as used capacity).
@@ -163,8 +190,19 @@ func (s *Scheduler) effPriority(j *Job) float64 {
 	return p
 }
 
-func (s *Scheduler) sortRunning() { sortByPriority(s.running, s.effPriority) }
-func (s *Scheduler) sortQueued()  { sortByPriority(s.queued, s.effPriority) }
+// insertRunning places j into the running list, keeping it sorted in
+// decreasing effective priority without the interface boxing a full re-sort
+// costs per start. Running jobs' effective priorities are static (aging only
+// applies while queued), so insertion preserves the order a re-sort would
+// produce.
+func (s *Scheduler) insertRunning(j *Job) {
+	i := sort.Search(len(s.running), func(k int) bool {
+		return s.queue.before(j, s.running[k])
+	})
+	s.running = append(s.running, nil)
+	copy(s.running[i+1:], s.running[i:])
+	s.running[i] = j
+}
 
 // gapOK reports whether the job is outside its rescale gap (the pseudocode's
 // `currentTime() - j.lastAction < rescaleGap → continue`). Queued jobs have
@@ -225,8 +263,7 @@ func (s *Scheduler) start(j *Job, replicas int) bool {
 		j.StartTime = now
 	}
 	s.free -= replicas + s.cfg.JobOverheadSlots
-	s.running = append(s.running, j)
-	s.sortRunning()
+	s.insertRunning(j)
 	s.record(DecisionStart, j)
 	return true
 }
@@ -266,8 +303,10 @@ func (s *Scheduler) expand(j *Job, to int) bool {
 // enqueue places j on the internal priority queue.
 func (s *Scheduler) enqueue(j *Job) {
 	j.State = StateQueued
-	s.queued = append(s.queued, j)
-	s.sortQueued()
+	s.queue.push(j)
+	if need := s.jobNeed(j); need < s.minNeed {
+		s.minNeed = need
+	}
 	s.record(DecisionEnqueue, j)
 }
 
@@ -404,8 +443,10 @@ func (s *Scheduler) tryPreempt(job *Job, minR, overhead int) bool {
 		j.State = StatePreempted
 		j.LastAction = s.now()
 		s.removeRunning(j)
-		s.queued = append(s.queued, j)
-		s.sortQueued()
+		s.queue.push(j)
+		if need := s.jobNeed(j); need < s.minNeed {
+			s.minNeed = need
+		}
 		s.record(DecisionPreempt, j)
 	}
 	return s.free >= minR+overhead
@@ -441,14 +482,65 @@ func (s *Scheduler) Kick() { s.redistribute() }
 // Figure 3 redistribution expands running jobs into any remaining free
 // slots. Drivers call this when a rescale gap expires — the simulator via a
 // timer event, the operator via its requeue-after reconcile loop.
+//
+// Once no remaining waiting job could start even if every running job were
+// shrunk to its minimum (or preempted outright), the rest of the backlog is
+// re-queued wholesale instead of being re-submitted one by one — a deep
+// backlog costs one sort, not len(queue) placement passes. With EnableLog
+// the shortcut is disabled so every re-placement attempt stays in the audit
+// trail.
 func (s *Scheduler) Reschedule() {
-	queued := append([]*Job(nil), s.queued...)
-	sortByPriority(queued, s.effPriority)
-	for _, j := range queued {
-		s.dequeue(j)
-		s.submit(j)
+	if s.queue.Len() > 0 {
+		drained := s.queue.drainSorted()
+		s.minNeed = maxSlotNeed
+		if s.cfg.EnableLog {
+			for _, j := range drained {
+				s.submit(j)
+			}
+		} else {
+			// needs[i] = smallest slot requirement among drained[i:].
+			needs := s.needScratch[:0]
+			for range drained {
+				needs = append(needs, 0)
+			}
+			s.needScratch = needs
+			for i := len(drained) - 1; i >= 0; i-- {
+				n := s.jobNeed(drained[i])
+				if i+1 < len(drained) && needs[i+1] < n {
+					n = needs[i+1]
+				}
+				needs[i] = n
+			}
+			for i, j := range drained {
+				if s.free+s.maxFreeable() < needs[i] {
+					if needs[i] < s.minNeed {
+						s.minNeed = needs[i]
+					}
+					s.queue.bulkAdd(drained[i:])
+					break
+				}
+				s.submit(j)
+			}
+		}
+		s.queue.recycleDrained(drained)
 	}
 	s.redistribute()
+}
+
+// maxFreeable is an upper bound on the worker slots a submission could free
+// from the running set: every job shrunk to its policy minimum, or — with
+// preemption enabled — stopped outright.
+func (s *Scheduler) maxFreeable() int {
+	total := 0
+	for _, j := range s.running {
+		if s.cfg.EnablePreemption {
+			total += j.Replicas + s.cfg.JobOverheadSlots
+		} else {
+			jmin, _ := s.bounds(j)
+			total += j.Replicas - jmin
+		}
+	}
+	return total
 }
 
 // NextGapExpiry returns the earliest future instant at which a rescale that
@@ -464,7 +556,7 @@ func (s *Scheduler) NextGapExpiry() (at time.Time, ok bool) {
 	for _, j := range s.running {
 		minR, maxR := s.bounds(j)
 		expandable := s.free > 0 && j.Replicas < maxR
-		shrinkable := len(s.queued) > 0 && j.Replicas > minR
+		shrinkable := s.queue.Len() > 0 && j.Replicas > minR
 		if !expandable && !shrinkable {
 			continue
 		}
@@ -481,26 +573,41 @@ func (s *Scheduler) NextGapExpiry() (at time.Time, ok bool) {
 
 // redistribute walks all running and queued jobs in decreasing priority
 // order, growing each below-max job as far as free slots allow (Figure 3).
+// The running snapshot and the queue heap are merged lazily, and a backlog
+// whose smallest slot requirement exceeds the free capacity is skipped
+// without being scanned at all.
 func (s *Scheduler) redistribute() {
-	if s.cfg.AgingRate > 0 {
-		s.sortQueued()
+	if s.cfg.AgingRate > 0 && s.cfg.EnablePreemption {
+		// Preempted jobs do not age while queued jobs do, so a mixed
+		// backlog's relative order can drift; restore the heap invariant.
+		s.queue.init()
 	}
-	// allJobs: running + queued, sorted in decreasing priority.
-	all := make([]*Job, 0, len(s.running)+len(s.queued))
-	all = append(all, s.running...)
-	all = append(all, s.queued...)
-	sortByPriority(all, s.effPriority)
-
-	for _, j := range all {
-		if s.free <= 0 {
+	run := append(s.runScratch[:0], s.running...)
+	s.runScratch = run
+	overhead := s.cfg.JobOverheadSlots
+	// When not even the smallest waiting requirement (minNeed already
+	// includes the per-job overhead) fits the free slots — and out-of-order
+	// allocation is on, so skipped jobs gate nothing — the backlog cannot
+	// place a job and is left untouched.
+	popQueue := s.queue.Len() > 0 &&
+		(s.cfg.StrictFCFS || s.free >= s.minNeed)
+	popped := s.popScratch[:0]
+	poppedMin := maxSlotNeed
+	ri := 0
+	for s.free > 0 {
+		takeQueue := false
+		if popQueue && s.queue.Len() > 0 {
+			takeQueue = ri >= len(run) || s.queue.before(s.queue.peek(), run[ri])
+		} else if ri >= len(run) {
 			break
 		}
-		jmin, jmax := s.bounds(j)
-		switch j.State {
-		case StateRunning:
+		if !takeQueue {
+			j := run[ri]
+			ri++
 			if !s.gapOK(j) {
 				continue
 			}
+			jmin, jmax := s.bounds(j)
 			if j.Replicas < jmax {
 				add := jmax - j.Replicas
 				if add > s.free {
@@ -510,31 +617,44 @@ func (s *Scheduler) redistribute() {
 					s.expand(j, j.Replicas+add)
 				}
 			}
-		case StateQueued, StatePreempted:
-			avail := s.free - s.cfg.JobOverheadSlots
-			if avail < jmin {
-				if s.cfg.StrictFCFS {
-					return // no backfilling past the queue head
-				}
-				continue
+			continue
+		}
+		j := s.queue.pop()
+		jmin, jmax := s.bounds(j)
+		avail := s.free - overhead
+		if avail < jmin {
+			popped = append(popped, j)
+			if need := jmin + overhead; need < poppedMin {
+				poppedMin = need
 			}
-			replicas := avail
-			if replicas > jmax {
-				replicas = jmax
+			if s.cfg.StrictFCFS {
+				break // no backfilling past the queue head
 			}
-			if s.start(j, replicas) {
-				s.dequeue(j)
+			continue
+		}
+		replicas := avail
+		if replicas > jmax {
+			replicas = jmax
+		}
+		if !s.start(j, replicas) {
+			popped = append(popped, j)
+			if need := jmin + overhead; need < poppedMin {
+				poppedMin = need
 			}
 		}
 	}
-}
-
-// dequeue removes j from the queued list.
-func (s *Scheduler) dequeue(j *Job) {
-	for i, q := range s.queued {
-		if q == j {
-			s.queued = append(s.queued[:i], s.queued[i+1:]...)
-			return
+	if len(popped) > 0 {
+		if s.queue.Len() == 0 {
+			// The whole backlog was scanned, so poppedMin is exactly
+			// the smallest requirement still waiting.
+			s.minNeed = poppedMin
 		}
+		s.queue.bulkAdd(popped)
+	} else if s.queue.Len() == 0 {
+		s.minNeed = maxSlotNeed
 	}
+	s.popScratch = popped[:0]
+	clear(popped)
+	clear(run)
+	s.runScratch = run[:0]
 }

@@ -700,3 +700,34 @@ func TestRandomizedSlotAccountingInvariant(t *testing.T) {
 		})
 	}
 }
+
+// Regression test for the indexed-queue backlog gate: with JobOverheadSlots
+// set, a queued job whose minimum exactly fits the freed slots must start on
+// the completion's redistribution pass (the gate must not double-count the
+// overhead already folded into the job's slot requirement).
+func TestRedistributeStartsFittingJobWithOverhead(t *testing.T) {
+	s, _, clk := newSched(t, Config{Policy: Elastic, Capacity: 8, JobOverheadSlots: 1})
+	a := job("a", 5, 2, 2) // 2 workers + 1 overhead = 3 slots
+	if err := s.Submit(a); err != nil {
+		t.Fatal(err)
+	}
+	b := job("b", 4, 4, 4) // 4 + 1 = 5 slots: fits alongside a
+	if err := s.Submit(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.State != StateRunning || b.State != StateRunning || s.FreeSlots() != 0 {
+		t.Fatalf("setup: a=%v b=%v free=%d", a.State, b.State, s.FreeSlots())
+	}
+	c := job("c", 1, 2, 2) // needs 3 slots; queues behind the full cluster
+	if err := s.Submit(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.State != StateQueued {
+		t.Fatalf("c = %v, want Queued", c.State)
+	}
+	clk.advance(time.Hour)
+	s.OnJobComplete(a) // frees exactly the 3 slots c needs
+	if c.State != StateRunning || c.Replicas != 2 {
+		t.Errorf("c = %v replicas %d, want Running 2 (gate double-counted overhead?)", c.State, c.Replicas)
+	}
+}

@@ -1,0 +1,266 @@
+// Package metrics defines the versioned, machine-readable experiment-report
+// schema every harness emits: the discrete-event simulator's runs and sweeps
+// (internal/sim), the full-stack cluster emulation (internal/cluster), and
+// the Go benchmark output the CI regression gate compares. One schema means
+// one diff tool (cmd/benchreport), one artifact format for CI, and reports
+// that remain parseable as the repo evolves — the Schema field is bumped on
+// incompatible changes and checked on every Read.
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"elastichpc/internal/core"
+	"elastichpc/internal/sim"
+)
+
+// SchemaVersion is the report format generation. Readers reject reports
+// written by a different generation rather than misinterpreting them.
+const SchemaVersion = 1
+
+// Kind classifies what a report contains.
+type Kind string
+
+// Report kinds.
+const (
+	// KindRun is one or more single experiment runs (Runs populated).
+	KindRun Kind = "run"
+	// KindSweep is one or more parameter sweeps (Sweeps populated).
+	KindSweep Kind = "sweep"
+	// KindBench is parsed `go test -bench` output (Benchmarks populated).
+	KindBench Kind = "bench"
+)
+
+// Report is the top-level experiment report.
+type Report struct {
+	Schema int    `json:"schema"`
+	Tool   string `json:"tool,omitempty"` // producing command, e.g. "elasticsim"
+	Kind   Kind   `json:"kind"`
+	// Params records the run configuration (flag values, workload shape).
+	Params     map[string]string `json:"params,omitempty"`
+	Runs       []Run             `json:"runs,omitempty"`
+	Sweeps     []Sweep           `json:"sweeps,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks,omitempty"`
+}
+
+// Run is one experiment outcome: the paper's four metrics for one policy on
+// one workload (or averaged over Seeds workloads).
+type Run struct {
+	Name               string  `json:"name,omitempty"` // scenario/workload label
+	Policy             string  `json:"policy"`
+	Seeds              int     `json:"seeds,omitempty"` // >1 when averaged
+	Jobs               int     `json:"jobs,omitempty"`
+	TotalTime          float64 `json:"total_time_s"`
+	Utilization        float64 `json:"utilization"`
+	WeightedResponse   float64 `json:"weighted_response_s"`
+	WeightedCompletion float64 `json:"weighted_completion_s"`
+}
+
+// Sweep is one parameter sweep: per-policy metrics at each x.
+type Sweep struct {
+	Name   string  `json:"name"` // e.g. "submission_gap", "scenario"
+	X      string  `json:"x"`    // x-axis meaning
+	Points []Point `json:"points"`
+}
+
+// Point is one x-coordinate of a sweep.
+type Point struct {
+	X     float64 `json:"x"`
+	Label string  `json:"label,omitempty"` // scenario name for scenario sweeps
+	Runs  []Run   `json:"runs"`
+}
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name        string             `json:"name"` // procs suffix stripped
+	Procs       int                `json:"procs,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Custom      map[string]float64 `json:"custom,omitempty"` // e.g. "jobs/s"
+}
+
+// New starts a report of the given kind.
+func New(tool string, kind Kind) Report {
+	return Report{Schema: SchemaVersion, Tool: tool, Kind: kind}
+}
+
+// Validate checks structural integrity: schema generation, a known kind, and
+// that the populated section matches the kind.
+func (r Report) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("metrics: schema %d, this build reads %d", r.Schema, SchemaVersion)
+	}
+	switch r.Kind {
+	case KindRun:
+		if len(r.Runs) == 0 {
+			return fmt.Errorf("metrics: run report with no runs")
+		}
+	case KindSweep:
+		if len(r.Sweeps) == 0 {
+			return fmt.Errorf("metrics: sweep report with no sweeps")
+		}
+	case KindBench:
+		if len(r.Benchmarks) == 0 {
+			return fmt.Errorf("metrics: bench report with no benchmarks")
+		}
+	default:
+		return fmt.Errorf("metrics: unknown report kind %q", r.Kind)
+	}
+	return nil
+}
+
+// Write marshals the report to path as indented JSON.
+func Write(path string, r Report) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Read loads and validates a report.
+func Read(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("metrics: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return Report{}, fmt.Errorf("metrics: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// FromResult converts one simulation (or emulation) result. Jobs is taken
+// from the result when retained, so streaming results pass their job count
+// via the name-labelled Run only if the caller sets it afterwards.
+func FromResult(name string, res sim.Result) Run {
+	return Run{
+		Name:               name,
+		Policy:             res.Policy.String(),
+		Jobs:               len(res.Jobs),
+		TotalTime:          res.TotalTime,
+		Utilization:        res.Utilization,
+		WeightedResponse:   res.WeightedResponse,
+		WeightedCompletion: res.WeightedCompletion,
+	}
+}
+
+// FromAverage converts one per-policy seed-averaged cell.
+func FromAverage(name string, avg sim.AverageResult) Run {
+	return Run{
+		Name:               name,
+		Policy:             avg.Policy.String(),
+		Seeds:              avg.Runs,
+		TotalTime:          avg.TotalTime,
+		Utilization:        avg.Utilization,
+		WeightedResponse:   avg.WeightedResponse,
+		WeightedCompletion: avg.WeightedCompletion,
+	}
+}
+
+// FromSweep converts a Figure 7/8-style sweep, expanding each point's
+// policies in the paper's presentation order.
+func FromSweep(name, xLabel string, pts []sim.SweepPoint) Sweep {
+	sw := Sweep{Name: name, X: xLabel, Points: make([]Point, 0, len(pts))}
+	for _, pt := range pts {
+		p := Point{X: pt.X, Runs: make([]Run, 0, len(pt.ByPolicy))}
+		for _, pol := range core.AllPolicies() {
+			if avg, ok := pt.ByPolicy[pol]; ok {
+				p.Runs = append(p.Runs, FromAverage("", avg))
+			}
+		}
+		sw.Points = append(sw.Points, p)
+	}
+	return sw
+}
+
+// FromScenarios converts a scenario sweep, one labelled point per scenario.
+func FromScenarios(results []sim.ScenarioResult) Sweep {
+	sw := Sweep{Name: "scenario", X: "scenario index", Points: make([]Point, 0, len(results))}
+	for i, sr := range results {
+		p := Point{X: float64(i), Label: sr.Name, Runs: make([]Run, 0, len(sr.ByPolicy))}
+		for _, pol := range core.AllPolicies() {
+			if avg, ok := sr.ByPolicy[pol]; ok {
+				p.Runs = append(p.Runs, FromAverage(sr.Name, avg))
+			}
+		}
+		sw.Points = append(sw.Points, p)
+	}
+	return sw
+}
+
+// ParseGoBench parses `go test -bench` output into a bench report. Lines
+// that are not benchmark results (headers, PASS/ok, prints from the
+// benchmarks themselves) are ignored. Recognized per-op units land in the
+// named fields; anything else ("jobs/s", application metrics) goes to
+// Custom under its unit string.
+func ParseGoBench(in io.Reader, tool string) (Report, error) {
+	r := New(tool, KindBench)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Iterations: iters}
+		if i := strings.LastIndex(b.Name, "-"); i > 0 {
+			if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+				b.Name, b.Procs = b.Name[:i], procs
+			}
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break // not a value/unit pair; stop parsing the line
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BytesPerOp = val
+			case "allocs/op":
+				b.AllocsPerOp = val
+			default:
+				if b.Custom == nil {
+					b.Custom = make(map[string]float64)
+				}
+				b.Custom[unit] = val
+			}
+		}
+		if b.NsPerOp == 0 && b.Custom == nil {
+			continue // malformed line
+		}
+		r.Benchmarks = append(r.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return Report{}, err
+	}
+	if len(r.Benchmarks) == 0 {
+		return Report{}, fmt.Errorf("metrics: no benchmark lines found")
+	}
+	return r, nil
+}

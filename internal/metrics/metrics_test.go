@@ -1,0 +1,221 @@
+package metrics
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"elastichpc/internal/core"
+	"elastichpc/internal/sim"
+	"elastichpc/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenReport is a fully populated schema-v1 report; the golden file pins
+// its JSON encoding so accidental schema drift fails loudly.
+func goldenReport() Report {
+	r := New("elasticsim", KindSweep)
+	r.Params = map[string]string{"seeds": "2", "rescale_gap": "180"}
+	r.Sweeps = []Sweep{
+		{
+			Name: "submission_gap",
+			X:    "submission gap (s)",
+			Points: []Point{
+				{
+					X: 90,
+					Runs: []Run{
+						{Policy: "elastic", Seeds: 2, TotalTime: 2012.5, Utilization: 0.8125,
+							WeightedResponse: 101.25, WeightedCompletion: 612.5},
+						{Policy: "moldable", Seeds: 2, TotalTime: 2400, Utilization: 0.75,
+							WeightedResponse: 180, WeightedCompletion: 700},
+					},
+				},
+				{
+					X:     0,
+					Label: "burst",
+					Runs: []Run{
+						{Name: "burst", Policy: "min_replicas", Seeds: 2, Jobs: 16,
+							TotalTime: 3000, Utilization: 0.5, WeightedResponse: 400, WeightedCompletion: 900},
+					},
+				},
+			},
+		},
+	}
+	r.Benchmarks = []Benchmark{
+		{Name: "BenchmarkSimMillionJobs", Procs: 8, Iterations: 1, NsPerOp: 1.35e10,
+			BytesPerOp: 4.9e7, AllocsPerOp: 1.87e6, Custom: map[string]float64{"jobs/s": 74265}},
+	}
+	return r
+}
+
+func TestGoldenRoundTrip(t *testing.T) {
+	golden := filepath.Join("testdata", "report_v1.golden.json")
+	r := goldenReport()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *updateGolden {
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if string(data) != string(want) {
+		t.Errorf("encoding drifted from golden file:\ngot:\n%s\nwant:\n%s", data, want)
+	}
+	// Round trip: the golden bytes decode back to the identical value.
+	var back Report
+	if err := json.Unmarshal(want, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, r) {
+		t.Errorf("round trip mismatch:\ngot %+v\nwant %+v", back, r)
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("golden report invalid: %v", err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	r := goldenReport()
+	if err := Write(path, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, r) {
+		t.Errorf("Write/Read round trip mismatch")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []Report{
+		{Schema: SchemaVersion + 1, Kind: KindRun, Runs: []Run{{Policy: "elastic"}}},
+		{Schema: SchemaVersion, Kind: "mystery"},
+		{Schema: SchemaVersion, Kind: KindRun},
+		{Schema: SchemaVersion, Kind: KindSweep},
+		{Schema: SchemaVersion, Kind: KindBench},
+	}
+	for i, r := range cases {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: invalid report accepted: %+v", i, r)
+		}
+	}
+}
+
+func TestReadRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 99, "kind": "run", "runs": [{"policy": "elastic"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Error("accepted a schema-99 report")
+	}
+}
+
+func TestFromResultAndSweepConverters(t *testing.T) {
+	w := sim.RandomWorkload(8, 90, 1)
+	res, err := sim.RunPolicy(core.Elastic, w, 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := FromResult("uniform", res)
+	if run.Policy != "elastic" || run.Jobs != 8 || run.TotalTime != res.TotalTime ||
+		run.Utilization != res.Utilization {
+		t.Errorf("FromResult mismatch: %+v vs %+v", run, res)
+	}
+
+	pts, err := sim.SubmissionGapSweep([]float64{0, 150}, 8, 2, 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := FromSweep("submission_gap", "submission gap (s)", pts)
+	if len(sw.Points) != 2 {
+		t.Fatalf("%d points", len(sw.Points))
+	}
+	for _, p := range sw.Points {
+		if len(p.Runs) != 4 {
+			t.Errorf("point x=%g has %d policies", p.X, len(p.Runs))
+		}
+		// Policy order is the paper's presentation order.
+		for i, pol := range core.AllPolicies() {
+			if p.Runs[i].Policy != pol.String() {
+				t.Errorf("point x=%g run %d policy %q, want %q", p.X, i, p.Runs[i].Policy, pol)
+			}
+			if p.Runs[i].Seeds != 2 {
+				t.Errorf("seeds = %d", p.Runs[i].Seeds)
+			}
+		}
+	}
+
+	gens := []workload.Generator{
+		workload.Uniform{Jobs: 8, Gap: 90},
+		workload.Burst{Waves: 2, PerWave: 4, WaveGap: 360},
+	}
+	srs, err := sim.ScenarioSweep(gens, 2, 180, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssw := FromScenarios(srs)
+	if len(ssw.Points) != len(srs) {
+		t.Fatalf("%d scenario points", len(ssw.Points))
+	}
+	for i, p := range ssw.Points {
+		if p.Label != gens[i].Name() || p.X != float64(i) || len(p.Runs) != 4 {
+			t.Errorf("scenario point %d: %+v", i, p)
+		}
+	}
+}
+
+func TestParseGoBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: elastichpc/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+some benchmark print output
+BenchmarkSimMillionJobs-8   	       1	13465277116 ns/op	     74265 jobs/s	49160712 B/op	 1870385 allocs/op
+BenchmarkMsgqDeep   	     100	     12345 ns/op
+PASS
+ok  	elastichpc/internal/sim	15.587s
+`
+	r, err := ParseGoBench(strings.NewReader(out), "benchreport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks", len(r.Benchmarks))
+	}
+	b := r.Benchmarks[0]
+	if b.Name != "BenchmarkSimMillionJobs" || b.Procs != 8 || b.Iterations != 1 {
+		t.Errorf("header mismatch: %+v", b)
+	}
+	if b.NsPerOp != 13465277116 || b.BytesPerOp != 49160712 || b.AllocsPerOp != 1870385 {
+		t.Errorf("metrics mismatch: %+v", b)
+	}
+	if b.Custom["jobs/s"] != 74265 {
+		t.Errorf("custom metric lost: %+v", b.Custom)
+	}
+	if r.Benchmarks[1].Name != "BenchmarkMsgqDeep" || r.Benchmarks[1].NsPerOp != 12345 {
+		t.Errorf("second benchmark mismatch: %+v", r.Benchmarks[1])
+	}
+
+	if _, err := ParseGoBench(strings.NewReader("no benchmarks here\n"), "x"); err == nil {
+		t.Error("accepted bench-free input")
+	}
+}

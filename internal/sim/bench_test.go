@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+
+	"elastichpc/internal/core"
+	"elastichpc/internal/workload"
+)
+
+// burstBacklog builds the bursty reference workload the simulator perf work
+// targets: waves of 200 simultaneous submissions spaced so the 64-slot
+// cluster just keeps up, holding a persistent multi-hundred-job backlog that
+// exercises the indexed queue, the kick path, and the streaming collector.
+func burstBacklog(tb testing.TB, jobs int) Workload {
+	tb.Helper()
+	w, err := (workload.Burst{Waves: jobs / 200, PerWave: 200, WaveGap: 29000}).Generate(1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkSimMillionJobs is the headline scale benchmark: one million
+// bursty submissions through the elastic policy in streaming mode. The
+// pre-overhaul simulator sustained ~3.4k jobs/s on this workload (and held a
+// JobMetrics per job); the regression gate in CI tracks the current rate via
+// BENCH_BASELINE.json.
+func BenchmarkSimMillionJobs(b *testing.B) {
+	benchSim(b, 1_000_000)
+}
+
+// BenchmarkSim100kJobs is the same scenario at a tenth the scale — quick
+// enough for local iteration while exercising the identical code paths.
+func BenchmarkSim100kJobs(b *testing.B) {
+	benchSim(b, 100_000)
+}
+
+func benchSim(b *testing.B, jobs int) {
+	w := burstBacklog(b, jobs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(core.Elastic)
+		cfg.Streaming = true
+		s, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Run(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TotalTime <= 0 {
+			b.Fatalf("degenerate result: %+v", res)
+		}
+	}
+	b.ReportMetric(float64(jobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}

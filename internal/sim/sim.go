@@ -4,11 +4,17 @@
 // and charging the four-phase rescale overhead on every shrink/expand. It
 // reports the paper's four metrics: total time, cluster utilization,
 // weighted mean response time, and weighted mean completion time.
+//
+// The hot path is allocation-free at steady state: events and job records
+// are pooled, submissions stream from a sorted cursor instead of being
+// pre-pushed into the event heap, and in streaming mode (Config.Streaming)
+// per-job state is recycled at completion so a multi-million-job workload
+// needs only O(running jobs) memory.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"sort"
 	"time"
 
 	"elastichpc/internal/core"
@@ -30,15 +36,14 @@ type (
 // 16 jobs randomly out of these 4 sizes with random priorities between 1
 // and 5"). It is the workload.Uniform generator, draw-order-compatible with
 // seed-pinned experiments from before the workload-engine extraction.
+//
+// n <= 0 returns an empty workload; a negative or NaN gap panics (via
+// workload.MustUniform) — use workload.Uniform directly for an error return.
 func RandomWorkload(n int, gap float64, seed int64) Workload {
 	if n <= 0 {
 		return Workload{}
 	}
-	w, err := (workload.Uniform{Jobs: n, Gap: gap}).Generate(seed)
-	if err != nil {
-		panic(fmt.Sprintf("sim: RandomWorkload(%d, %g): %v", n, gap, err))
-	}
-	return w
+	return workload.MustUniform(n, gap, seed)
 }
 
 // JobMetrics is the per-job outcome.
@@ -46,7 +51,7 @@ type JobMetrics struct {
 	ID             string
 	Class          model.Class
 	Priority       int
-	Replicas       int // final replica count
+	Replicas       int // peak replica count
 	SubmitAt       float64
 	StartAt        float64
 	EndAt          float64
@@ -80,9 +85,11 @@ type Result struct {
 	// WeightedResponse and WeightedCompletion are priority-weighted means.
 	WeightedResponse   float64
 	WeightedCompletion float64
-	Jobs               []JobMetrics
-	UtilTimeline       []UtilSample
-	ReplicaTimelines   map[string][]ReplicaSample
+	// Jobs, UtilTimeline, and ReplicaTimelines are nil in streaming mode
+	// (Config.Streaming); the aggregate metrics above are always computed.
+	Jobs             []JobMetrics
+	UtilTimeline     []UtilSample
+	ReplicaTimelines map[string][]ReplicaSample
 }
 
 // Config parameterizes a simulation.
@@ -91,6 +98,14 @@ type Config struct {
 	Capacity   int     // worker slots (64 in the paper)
 	RescaleGap float64 // seconds (T_rescale_gap)
 	Machine    model.Machine
+	// Streaming computes Result's aggregate metrics incrementally and
+	// recycles per-job state at completion instead of retaining a
+	// JobMetrics, utilization sample, and replica timeline per job.
+	// Memory becomes O(concurrently running jobs) — required for
+	// million-job workloads. Result.Jobs, Result.UtilTimeline, and
+	// Result.ReplicaTimelines are nil in this mode; the aggregates are
+	// bit-identical to the retained mode.
+	Streaming bool
 	// Extensions (all default off, matching the paper's §3.2.1 policy).
 	JobOverheadSlots int
 	AgingRate        float64
@@ -104,13 +119,13 @@ func DefaultConfig(p core.Policy) Config {
 	return Config{Policy: p, Capacity: 64, RescaleGap: 180, Machine: model.DefaultMachine()}
 }
 
-// event kinds in the DES queue.
+// event kinds in the DES queue. Submissions are not events: they stream from
+// a cursor over the workload, keeping the heap O(running jobs) deep.
 type evKind int
 
 const (
-	evSubmit evKind = iota
-	evComplete
-	evKick // a rescale gap expired: re-run the scheduling pass
+	evComplete evKind = iota
+	evKick            // a rescale gap expired: re-run the scheduling pass
 )
 
 type event struct {
@@ -121,38 +136,79 @@ type event struct {
 	ord  int64 // FIFO tie-break for equal timestamps
 }
 
+// before orders events by time, then push order.
+func (ev *event) before(o *event) bool {
+	if ev.at != o.at {
+		return ev.at < o.at
+	}
+	return ev.ord < o.ord
+}
+
+// eventHeap is a hand-rolled binary min-heap of pooled events (container/heap
+// costs an interface call per comparison on the simulator's hottest path).
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h eventHeap) top() *event { return h[0] }
+
+func (h *eventHeap) push(ev *event) {
+	hh := append(*h, ev)
+	i := len(hh) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !hh[i].before(hh[p]) {
+			break
+		}
+		hh[i], hh[p] = hh[p], hh[i]
+		i = p
 	}
-	return h[i].ord < h[j].ord
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	*h = old[:n-1]
-	return
+	*h = hh
 }
 
-// simJob tracks a job's simulated execution state.
+func (h *eventHeap) pop() *event {
+	hh := *h
+	top := hh[0]
+	n := len(hh) - 1
+	hh[0] = hh[n]
+	hh[n] = nil
+	hh = hh[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && hh[r].before(hh[c]) {
+			c = r
+		}
+		if !hh[c].before(hh[i]) {
+			break
+		}
+		hh[i], hh[c] = hh[c], hh[i]
+		i = c
+	}
+	*h = hh
+	return top
+}
+
+// simJob tracks a job's simulated execution state. The scheduler's core.Job
+// is embedded by value so one pooled allocation covers both.
 type simJob struct {
 	spec model.Spec
-	job  *core.Job
+	job  core.Job
 	meta JobMetrics
 
 	itersDone   float64
 	lastUpdate  float64 // sim time of the last progress update
 	frozenUntil float64 // rescale overhead window: no progress before this
-	seq         int64   // increments on every reschedule
+	seq         int64   // increments on every reschedule (and slot recycle)
 	started     bool
 	timeline    []ReplicaSample
 }
+
+// jobSlabSize is the simJob pool's allocation chunk. Slab entries are
+// addressed by pointer and chunks are never appended to, so the pointers
+// stay valid for the simulator's lifetime.
+const jobSlabSize = 512
 
 // Simulator runs one workload under one policy.
 type Simulator struct {
@@ -163,11 +219,26 @@ type Simulator struct {
 	now    float64
 	jobs   map[string]*simJob
 
+	// Pools: recycled events, the simJob slab, and (in streaming mode)
+	// completed-job records ready for reuse.
+	freeEvents []*event
+	slab       []simJob
+	slabUsed   int
+	freeJobs   []*simJob
+
 	used     int
 	utilTL   []UtilSample
 	utilArea float64
 	utilLast float64
 	kickAt   float64 // earliest pending kick event time, or -1
+
+	// Aggregates accumulated incrementally at job completion, so streaming
+	// and retained runs produce bit-identical Result metrics.
+	completed          int
+	haveStart          bool
+	firstStart         float64
+	lastEnd            float64
+	wSum, wResp, wComp float64
 }
 
 // epoch anchors the simulator's float timeline to the core scheduler's
@@ -206,74 +277,167 @@ func New(cfg Config) (*Simulator, error) {
 	return s, nil
 }
 
+// allocJob hands out a pooled simJob with its recycle-safe seq preserved.
+func (s *Simulator) allocJob() *simJob {
+	if n := len(s.freeJobs); n > 0 {
+		sj := s.freeJobs[n-1]
+		s.freeJobs = s.freeJobs[:n-1]
+		return sj
+	}
+	if s.slabUsed == len(s.slab) {
+		s.slab = make([]simJob, jobSlabSize)
+		s.slabUsed = 0
+	}
+	sj := &s.slab[s.slabUsed]
+	s.slabUsed++
+	return sj
+}
+
+// newSimJob builds the simulation record for one submission.
+func (s *Simulator) newSimJob(js *JobSpec, spec model.Spec) *simJob {
+	sj := s.allocJob()
+	// Bumping seq past the previous lifecycle invalidates any stale
+	// completion event still in the heap for a recycled slot.
+	seq := sj.seq + 1
+	*sj = simJob{spec: spec, seq: seq}
+	sj.job = core.Job{
+		ID:          js.ID,
+		Priority:    js.Priority,
+		MinReplicas: spec.MinReplicas,
+		MaxReplicas: spec.MaxReplicas,
+		SubmitTime:  epoch.Add(model.Duration(js.SubmitAt)),
+	}
+	if sj.job.MaxReplicas > s.cfg.Capacity {
+		sj.job.MaxReplicas = s.cfg.Capacity
+	}
+	sj.meta = JobMetrics{ID: js.ID, Class: js.Class, Priority: js.Priority, SubmitAt: js.SubmitAt}
+	s.jobs[js.ID] = sj
+	return sj
+}
+
+// push arms a pooled event.
+func (s *Simulator) push(at float64, kind evKind, job *simJob, seq int64) {
+	var ev *event
+	if n := len(s.freeEvents); n > 0 {
+		ev = s.freeEvents[n-1]
+		s.freeEvents = s.freeEvents[:n-1]
+	} else {
+		ev = &event{}
+	}
+	s.ord++
+	*ev = event{at: at, kind: kind, job: job, seq: seq, ord: s.ord}
+	s.events.push(ev)
+}
+
+// recycleEvent returns a popped event to the pool.
+func (s *Simulator) recycleEvent(ev *event) {
+	ev.job = nil
+	s.freeEvents = append(s.freeEvents, ev)
+}
+
 // Run simulates the workload to completion and returns the metrics.
 func (s *Simulator) Run(w Workload) (Result, error) {
-	specs := model.Specs()
-	for _, js := range w.Jobs {
-		spec := specs[js.Class]
-		sj := &simJob{
-			spec: spec,
-			job: &core.Job{
-				ID:          js.ID,
-				Priority:    js.Priority,
-				MinReplicas: spec.MinReplicas,
-				MaxReplicas: spec.MaxReplicas,
-				SubmitTime:  epoch.Add(model.Duration(js.SubmitAt)),
-			},
-			meta: JobMetrics{ID: js.ID, Class: js.Class, Priority: js.Priority, SubmitAt: js.SubmitAt},
-		}
-		if sj.job.MaxReplicas > s.cfg.Capacity {
-			sj.job.MaxReplicas = s.cfg.Capacity
-		}
-		s.jobs[js.ID] = sj
-		s.push(&event{at: js.SubmitAt, kind: evSubmit, job: sj})
+	n := len(w.Jobs)
+	// Submission cursor: indices in stable submission-time order. Equal
+	// submission times keep workload order, and submissions sort before
+	// same-instant completions/kicks — exactly the order the former
+	// pre-pushed submission events produced.
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
 	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return w.Jobs[order[a]].SubmitAt < w.Jobs[order[b]].SubmitAt
+	})
+	specs := model.Specs()
 
+	cursor := 0
 	processed := 0
-	for s.events.Len() > 0 {
+	limit := 5_000_000 + 64*n
+	for {
+		if cursor < n {
+			at := w.Jobs[order[cursor]].SubmitAt
+			if len(s.events) == 0 || at <= s.events.top().at {
+				js := &w.Jobs[order[cursor]]
+				cursor++
+				processed++
+				s.advanceTo(at)
+				sj := s.newSimJob(js, specs[js.Class])
+				if err := s.sched.Submit(&sj.job); err != nil {
+					return Result{}, err
+				}
+				s.scheduleKick()
+				continue
+			}
+		}
+		if len(s.events) == 0 {
+			break
+		}
 		processed++
-		if processed > 5_000_000 {
+		if processed > limit {
 			// Defensive: a finite workload must settle in far fewer
 			// events; fail loudly rather than spin.
 			return Result{}, fmt.Errorf("sim: runaway event loop at t=%.1f: %d running, %d queued, %d heap",
-				s.now, len(s.sched.Running()), len(s.sched.Queued()), s.events.Len())
+				s.now, s.sched.NumRunning(), s.sched.NumQueued(), len(s.events))
 		}
-		ev := heap.Pop(&s.events).(*event)
+		ev := s.events.pop()
 		if ev.kind == evKick {
 			// Skip superseded kicks, and kicks armed for a moment
 			// beyond the workload's life — before advancing the
 			// clock, so they don't distort the utilization window.
 			if ev.at != s.kickAt {
+				s.recycleEvent(ev)
 				continue
 			}
-			if len(s.sched.Running()) == 0 && len(s.sched.Queued()) == 0 {
+			if s.sched.NumRunning() == 0 && s.sched.NumQueued() == 0 {
 				s.kickAt = -1
+				s.recycleEvent(ev)
 				continue
 			}
 		}
 		s.advanceTo(ev.at)
 		switch ev.kind {
-		case evSubmit:
-			if err := s.sched.Submit(ev.job.job); err != nil {
-				return Result{}, err
-			}
 		case evComplete:
 			if ev.seq != ev.job.seq {
+				s.recycleEvent(ev)
 				continue // stale completion from before a rescale
 			}
-			s.progress(ev.job)
+			sj := ev.job
+			s.progress(sj)
 			// Release the job's workers in the utilization timeline
 			// before the scheduler hands them to other jobs.
-			s.record(-ev.job.job.Replicas, ev.job, 0)
-			ev.job.meta.EndAt = s.now
-			s.sched.OnJobComplete(ev.job.job)
+			s.record(-sj.job.Replicas, sj, 0)
+			sj.meta.EndAt = s.now
+			s.sched.OnJobComplete(&sj.job)
+			s.finish(sj)
 		case evKick:
 			s.kickAt = -1
 			s.sched.Reschedule()
 		}
+		s.recycleEvent(ev)
 		s.scheduleKick()
 	}
 	return s.collect(w)
+}
+
+// finish folds a completed job into the aggregate metrics and, in streaming
+// mode, recycles its record.
+func (s *Simulator) finish(sj *simJob) {
+	m := &sj.meta
+	m.ResponseTime = m.StartAt - m.SubmitAt
+	m.CompletionTime = m.EndAt - m.SubmitAt
+	if m.EndAt > s.lastEnd {
+		s.lastEnd = m.EndAt
+	}
+	wgt := float64(m.Priority)
+	s.wSum += wgt
+	s.wResp += wgt * m.ResponseTime
+	s.wComp += wgt * m.CompletionTime
+	s.completed++
+	if s.cfg.Streaming {
+		delete(s.jobs, m.ID)
+		s.freeJobs = append(s.freeJobs, sj)
+	}
 }
 
 // scheduleKick arms a kick event at the next rescale-gap expiry that could
@@ -290,13 +454,7 @@ func (s *Simulator) scheduleKick() {
 		return // an earlier (or equal) kick is already pending
 	}
 	s.kickAt = t
-	s.push(&event{at: t, kind: evKick})
-}
-
-func (s *Simulator) push(ev *event) {
-	s.ord++
-	ev.ord = s.ord
-	heap.Push(&s.events, ev)
+	s.push(t, evKick, nil, 0)
 }
 
 // advanceTo moves simulated time forward, accumulating the utilization
@@ -357,18 +515,23 @@ func (s *Simulator) reschedule(sj *simJob, overhead float64, replicas int) {
 	remaining := float64(sj.spec.Steps) - sj.itersDone
 	iterTime := s.cfg.Machine.IterTime(sj.spec.Grid, replicas)
 	finish := start + remaining*iterTime
-	s.push(&event{at: finish, kind: evComplete, job: sj, seq: sj.seq})
+	s.push(finish, evComplete, sj, sj.seq)
 }
 
 // record tracks an allocation change of delta worker slots for the
-// utilization timeline and appends (now, replicas) to the job's own
-// replica-count timeline.
+// utilization accounting and, outside streaming mode, appends the sample to
+// the utilization and per-job replica timelines.
 func (s *Simulator) record(delta int, sj *simJob, replicas int) {
 	s.utilArea += float64(s.used) * (s.now - s.utilLast)
 	s.utilLast = s.now
 	s.used += delta
-	s.utilTL = append(s.utilTL, UtilSample{At: s.now, Used: s.used})
-	sj.timeline = append(sj.timeline, ReplicaSample{At: s.now, Replicas: replicas})
+	if replicas > sj.meta.Replicas {
+		sj.meta.Replicas = replicas // peak allocation
+	}
+	if !s.cfg.Streaming {
+		s.utilTL = append(s.utilTL, UtilSample{At: s.now, Used: s.used})
+		sj.timeline = append(sj.timeline, ReplicaSample{At: s.now, Replicas: replicas})
+	}
 }
 
 // simActuator implements core.Actuator on the simulator. Methods run inside
@@ -383,6 +546,10 @@ func (a *simActuator) StartJob(j *core.Job, replicas int) error {
 	if !sj.started {
 		sj.started = true
 		sj.meta.StartAt = s.now
+		if !s.haveStart || s.now < s.firstStart {
+			s.haveStart = true
+			s.firstStart = s.now
+		}
 	}
 	resumeOverhead := 0.0
 	if j.State == core.StatePreempted {
@@ -428,52 +595,36 @@ func (a *simActuator) PreemptJob(j *core.Job) error {
 	return nil
 }
 
-// collect computes the final metrics.
+// collect finalizes the metrics accumulated during the run.
 func (s *Simulator) collect(w Workload) (Result, error) {
-	res := Result{
-		Policy:           s.cfg.Policy,
-		UtilTimeline:     s.utilTL,
-		ReplicaTimelines: make(map[string][]ReplicaSample),
-	}
-	var firstStart, lastEnd float64
-	first := true
-	var wSum, wResp, wComp float64
-	for _, js := range w.Jobs {
-		sj := s.jobs[js.ID]
-		if sj.job.State != core.StateCompleted {
-			return res, fmt.Errorf("sim: job %s ended in state %v", js.ID, sj.job.State)
-		}
-		m := sj.meta
-		for _, sample := range sj.timeline {
-			if sample.Replicas > m.Replicas {
-				m.Replicas = sample.Replicas // peak allocation
+	res := Result{Policy: s.cfg.Policy}
+	if s.completed != len(w.Jobs) {
+		for _, js := range w.Jobs {
+			if sj, ok := s.jobs[js.ID]; ok && sj.job.State != core.StateCompleted {
+				return res, fmt.Errorf("sim: job %s ended in state %v", js.ID, sj.job.State)
 			}
 		}
-		m.ResponseTime = m.StartAt - m.SubmitAt
-		m.CompletionTime = m.EndAt - m.SubmitAt
-		res.Jobs = append(res.Jobs, m)
-		res.ReplicaTimelines[js.ID] = sj.timeline
-		if first || m.StartAt < firstStart {
-			firstStart = m.StartAt
-			first = false
-		}
-		if m.EndAt > lastEnd {
-			lastEnd = m.EndAt
-		}
-		wgt := float64(m.Priority)
-		wSum += wgt
-		wResp += wgt * m.ResponseTime
-		wComp += wgt * m.CompletionTime
+		return res, fmt.Errorf("sim: %d of %d jobs completed", s.completed, len(w.Jobs))
 	}
-	res.TotalTime = lastEnd - firstStart
+	res.TotalTime = s.lastEnd - s.firstStart
 	// Utilization over the experiment window [0, lastEnd]: no work happens
 	// after the last completion, so the accumulated area is complete.
-	if lastEnd > 0 {
-		res.Utilization = s.utilArea / (float64(s.cfg.Capacity) * lastEnd)
+	if s.lastEnd > 0 {
+		res.Utilization = s.utilArea / (float64(s.cfg.Capacity) * s.lastEnd)
 	}
-	if wSum > 0 {
-		res.WeightedResponse = wResp / wSum
-		res.WeightedCompletion = wComp / wSum
+	if s.wSum > 0 {
+		res.WeightedResponse = s.wResp / s.wSum
+		res.WeightedCompletion = s.wComp / s.wSum
+	}
+	if !s.cfg.Streaming {
+		res.UtilTimeline = s.utilTL
+		res.Jobs = make([]JobMetrics, 0, len(w.Jobs))
+		res.ReplicaTimelines = make(map[string][]ReplicaSample, len(w.Jobs))
+		for _, js := range w.Jobs {
+			sj := s.jobs[js.ID]
+			res.Jobs = append(res.Jobs, sj.meta)
+			res.ReplicaTimelines[js.ID] = sj.timeline
+		}
 	}
 	return res, nil
 }
@@ -482,6 +633,20 @@ func (s *Simulator) collect(w Workload) (Result, error) {
 func RunPolicy(p core.Policy, w Workload, rescaleGap float64) (Result, error) {
 	cfg := DefaultConfig(p)
 	cfg.RescaleGap = rescaleGap
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(w)
+}
+
+// RunPolicyStreaming is RunPolicy in streaming mode: only the aggregate
+// metrics are computed, in O(running jobs) memory — the mode for
+// multi-million-job workloads.
+func RunPolicyStreaming(p core.Policy, w Workload, rescaleGap float64) (Result, error) {
+	cfg := DefaultConfig(p)
+	cfg.RescaleGap = rescaleGap
+	cfg.Streaming = true
 	s, err := New(cfg)
 	if err != nil {
 		return Result{}, err

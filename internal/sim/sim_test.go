@@ -6,6 +6,7 @@ import (
 
 	"elastichpc/internal/core"
 	"elastichpc/internal/model"
+	"elastichpc/internal/workload"
 )
 
 func run(t *testing.T, p core.Policy, w Workload, rescaleGap float64) Result {
@@ -410,5 +411,63 @@ func TestCostBenefitExtensionCompletesAllJobs(t *testing.T) {
 	}
 	if len(res.Jobs) != 16 {
 		t.Errorf("%d jobs finished", len(res.Jobs))
+	}
+}
+
+// Streaming mode must reproduce the retained mode's aggregates exactly: both
+// accumulate them incrementally at completion time, so equality is
+// bit-for-bit, not approximate.
+func TestStreamingMatchesRetained(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		for _, gap := range []float64{0, 90} {
+			w := RandomWorkload(16, gap, seed)
+			for _, p := range core.AllPolicies() {
+				retained := run(t, p, w, 180)
+				streaming, err := RunPolicyStreaming(p, w, 180)
+				if err != nil {
+					t.Fatalf("seed %d gap %g %v streaming: %v", seed, gap, p, err)
+				}
+				if streaming.TotalTime != retained.TotalTime ||
+					streaming.Utilization != retained.Utilization ||
+					streaming.WeightedResponse != retained.WeightedResponse ||
+					streaming.WeightedCompletion != retained.WeightedCompletion {
+					t.Errorf("seed %d gap %g %v: streaming %+v != retained %+v",
+						seed, gap, p, streaming, retained)
+				}
+				if streaming.Jobs != nil || streaming.UtilTimeline != nil || streaming.ReplicaTimelines != nil {
+					t.Errorf("%v: streaming result retained per-job state", p)
+				}
+				if len(retained.Jobs) != 16 {
+					t.Errorf("%v: retained mode lost jobs: %d", p, len(retained.Jobs))
+				}
+			}
+		}
+	}
+}
+
+// The streaming recycler must stay correct when job records are reused many
+// times over: a deep bursty backlog cycles every pooled slot repeatedly.
+func TestStreamingRecyclesUnderBacklog(t *testing.T) {
+	w, err := (workload.Burst{Waves: 20, PerWave: 50, WaveGap: 2000}).Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retained, err := RunPolicy(core.Elastic, w, 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streaming, err := RunPolicyStreaming(core.Elastic, w, 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streaming.Policy != retained.Policy ||
+		streaming.TotalTime != retained.TotalTime ||
+		streaming.Utilization != retained.Utilization ||
+		streaming.WeightedResponse != retained.WeightedResponse ||
+		streaming.WeightedCompletion != retained.WeightedCompletion {
+		t.Errorf("streaming %+v diverges from retained aggregates %+v", streaming, retained)
+	}
+	if len(retained.Jobs) != 1000 {
+		t.Errorf("retained completed %d of 1000", len(retained.Jobs))
 	}
 }

@@ -24,9 +24,11 @@ type Uniform struct {
 // Name implements Generator.
 func (g Uniform) Name() string { return "uniform" }
 
-// Generate implements Generator.
+// Generate implements Generator. Like every generator it rejects degenerate
+// parameters — n <= 0 jobs, or a negative or NaN gap — with an error rather
+// than producing a silently empty or unordered workload.
 func (g Uniform) Generate(seed int64) (Workload, error) {
-	if g.Jobs <= 0 || g.Gap < 0 {
+	if g.Jobs <= 0 || !validGap(g.Gap) {
 		return Workload{}, fmt.Errorf("workload: bad uniform params jobs=%d gap=%g", g.Jobs, g.Gap)
 	}
 	rng := rand.New(rand.NewSource(seed))
@@ -57,7 +59,7 @@ func (g Poisson) Name() string { return "poisson" }
 
 // Generate implements Generator.
 func (g Poisson) Generate(seed int64) (Workload, error) {
-	if g.Jobs <= 0 || g.MeanGap < 0 {
+	if g.Jobs <= 0 || !validGap(g.MeanGap) {
 		return Workload{}, fmt.Errorf("workload: bad poisson params n=%d mean=%g", g.Jobs, g.MeanGap)
 	}
 	mix := g.Mix.orUniform()
@@ -95,8 +97,9 @@ func (g Burst) Name() string { return "burst" }
 
 // Generate implements Generator.
 func (g Burst) Generate(seed int64) (Workload, error) {
-	if g.Waves <= 0 || g.PerWave <= 0 || g.WaveGap < 0 {
-		return Workload{}, fmt.Errorf("workload: bad burst params")
+	if g.Waves <= 0 || g.PerWave <= 0 || !validGap(g.WaveGap) {
+		return Workload{}, fmt.Errorf("workload: bad burst params waves=%d perwave=%d gap=%g",
+			g.Waves, g.PerWave, g.WaveGap)
 	}
 	mix := g.Mix.orUniform()
 	rng := rand.New(rand.NewSource(seed))
@@ -136,7 +139,8 @@ func (g Diurnal) Name() string { return "diurnal" }
 
 // Generate implements Generator.
 func (g Diurnal) Generate(seed int64) (Workload, error) {
-	if g.Jobs <= 0 || g.Period <= 0 || g.PeakGap <= 0 || g.OffPeakGap < g.PeakGap {
+	if g.Jobs <= 0 || g.Period <= 0 || g.PeakGap <= 0 || g.OffPeakGap < g.PeakGap ||
+		!validGap(g.Period) || !validGap(g.PeakGap) || !validGap(g.OffPeakGap) {
 		return Workload{}, fmt.Errorf("workload: bad diurnal params jobs=%d period=%g peak=%g offpeak=%g",
 			g.Jobs, g.Period, g.PeakGap, g.OffPeakGap)
 	}
@@ -179,6 +183,25 @@ func (g Trace) Generate(int64) (Workload, error) {
 		return Workload{}, fmt.Errorf("workload: trace generator needs a path")
 	}
 	return LoadFile(g.Path)
+}
+
+// validGap reports whether a submission-gap parameter is usable: finite-or-
+// +Inf is rejected too, since an infinite gap never submits a second job.
+func validGap(gap float64) bool {
+	return gap >= 0 && !math.IsInf(gap, 1) && !math.IsNaN(gap)
+}
+
+// MustUniform is the panic-boundary form of the Uniform generator for
+// callers that have already validated (or hard-code) their parameters:
+// sim.RandomWorkload and the example programs. It panics with the underlying
+// validation error on n <= 0 jobs or a negative/NaN gap; use
+// Uniform.Generate directly to handle the error instead.
+func MustUniform(jobs int, gap float64, seed int64) Workload {
+	w, err := (Uniform{Jobs: jobs, Gap: gap}).Generate(seed)
+	if err != nil {
+		panic(fmt.Sprintf("workload: MustUniform(%d, %g, %d): %v", jobs, gap, seed, err))
+	}
+	return w
 }
 
 // fixed replays an in-memory workload under a scenario name.

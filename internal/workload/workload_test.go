@@ -355,3 +355,62 @@ func TestQuickRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMustUniformPanicBoundary(t *testing.T) {
+	w := MustUniform(4, 90, 7)
+	if len(w.Jobs) != 4 {
+		t.Fatalf("MustUniform produced %d jobs", len(w.Jobs))
+	}
+	for _, bad := range []func(){
+		func() { MustUniform(0, 90, 7) },
+		func() { MustUniform(-1, 90, 7) },
+		func() { MustUniform(4, -1, 7) },
+		func() { MustUniform(4, math.NaN(), 7) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("MustUniform accepted degenerate params")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestGeneratorsRejectDegenerateGaps(t *testing.T) {
+	cases := []Generator{
+		Uniform{Jobs: 4, Gap: math.NaN()},
+		Uniform{Jobs: 4, Gap: math.Inf(1)},
+		Uniform{Jobs: 4, Gap: -1},
+		Uniform{Jobs: 0, Gap: 90},
+		Poisson{Jobs: 4, MeanGap: math.NaN()},
+		Poisson{Jobs: 0, MeanGap: 90},
+		Burst{Waves: 2, PerWave: 2, WaveGap: math.NaN()},
+		Burst{Waves: 0, PerWave: 2, WaveGap: 90},
+		Diurnal{Jobs: 4, Period: math.NaN(), PeakGap: 30, OffPeakGap: 300},
+		Diurnal{Jobs: 4, Period: 900, PeakGap: math.NaN(), OffPeakGap: 300},
+	}
+	for i, g := range cases {
+		if _, err := g.Generate(1); err == nil {
+			t.Errorf("case %d (%T): degenerate params accepted", i, g)
+		}
+	}
+	// Zero gaps stay legal: simultaneous submission is the contention case.
+	if _, err := (Uniform{Jobs: 4, Gap: 0}).Generate(1); err != nil {
+		t.Errorf("zero gap rejected: %v", err)
+	}
+}
+
+func TestDiurnalRejectsInfiniteGaps(t *testing.T) {
+	cases := []Diurnal{
+		{Jobs: 4, Period: math.Inf(1), PeakGap: 30, OffPeakGap: 300},
+		{Jobs: 4, Period: 900, PeakGap: math.Inf(1), OffPeakGap: math.Inf(1)},
+		{Jobs: 4, Period: 900, PeakGap: 30, OffPeakGap: math.Inf(1)},
+	}
+	for i, g := range cases {
+		if _, err := g.Generate(1); err == nil {
+			t.Errorf("case %d: infinite gap accepted", i)
+		}
+	}
+}
