@@ -1,0 +1,87 @@
+package elastichpc_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"elastichpc"
+)
+
+func TestFacadeAvailabilityEngine(t *testing.T) {
+	profiles := elastichpc.DefaultAvailabilityProfiles()
+	if len(profiles) < 4 {
+		t.Fatalf("%d default availability profiles", len(profiles))
+	}
+	for _, p := range profiles {
+		resolved, err := elastichpc.AvailabilityScenario(p.Name(), elastichpc.AvailabilityOptions{})
+		if err != nil {
+			t.Fatalf("AvailabilityScenario(%q): %v", p.Name(), err)
+		}
+		if resolved.Name() != p.Name() {
+			t.Errorf("AvailabilityScenario(%q) resolved to %q", p.Name(), resolved.Name())
+		}
+	}
+
+	// A profile drives the simulator through the facade and the resilience
+	// aggregates surface on the result.
+	gen := elastichpc.UniformScenario{Jobs: 6, Gap: 90}
+	w, err := gen.Generate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := elastichpc.SpotPreemptionProfile{MeanGap: 200, Slots: 16, MeanOutage: 150}
+	tr, err := prof.Events(2, 64, w.Span()+4*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := elastichpc.SimulateAvailability(elastichpc.Elastic, w, 180, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapacityEvents == 0 {
+		t.Error("no capacity events applied")
+	}
+	stream, err := elastichpc.SimulateAvailabilityStreaming(elastichpc.Elastic, w, 180, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.GoodputFrac != res.GoodputFrac || stream.WorkLostSec != res.WorkLostSec {
+		t.Errorf("streaming aggregates diverged: %+v vs %+v", stream, res)
+	}
+
+	// Capacity traces round-trip through the facade persistence.
+	path := filepath.Join(t.TempDir(), "cap.csv")
+	if err := elastichpc.SaveAvailabilityTrace(path, tr, "facade test"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := elastichpc.LoadAvailabilityTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Error("capacity trace round trip diverged")
+	}
+
+	// The same profile runs through the emulation backend.
+	cfg := elastichpc.DefaultClusterConfig(elastichpc.Elastic)
+	cfg.CheckpointPeriod = 1000
+	actual, err := elastichpc.EmulateAvailability(cfg, gen, elastichpc.ReplayAvailabilityTrace("spot", tr), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if actual.CapacityEvents == 0 {
+		t.Error("emulation applied no capacity events")
+	}
+
+	// And joins the availability sweep axis.
+	srs, err := elastichpc.AvailabilitySweep(
+		[]elastichpc.AvailabilityProfile{elastichpc.MaintenanceDrainProfile{Every: 600, Duration: 200, Keep: 32}},
+		gen, 2, 180, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srs) != 1 || srs[0].Name != "drain" {
+		t.Fatalf("sweep shape: %+v", srs)
+	}
+}

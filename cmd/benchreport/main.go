@@ -116,15 +116,31 @@ func value(b metrics.Benchmark, metric string) (float64, bool) {
 // compare prints a per-benchmark table and returns the regression count.
 // Benchmarks not matching the gate regexp are reported but never fail the
 // comparison — sub-millisecond micro-benchmarks are too noisy at
-// -benchtime=1x for a hard threshold.
+// -benchtime=1x for a hard threshold. Benchmarks present only in the
+// candidate (a PR adding a new benchmark before the baseline is refreshed)
+// are listed as informational "new" rows and never gate.
 func compare(base, cand metrics.Report, metric string, threshold float64, allowMissing bool, gate *regexp.Regexp) int {
 	higherBetter := strings.HasSuffix(metric, "/s")
 	candidates := make(map[string]metrics.Benchmark, len(cand.Benchmarks))
 	for _, b := range cand.Benchmarks {
 		candidates[b.Name] = b
 	}
+	inBaseline := make(map[string]bool, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		inBaseline[b.Name] = true
+	}
 	fmt.Printf("%-40s %14s %14s %8s  %s\n", "benchmark", "baseline", "candidate", "Δ", "verdict")
 	regressions := 0
+	for _, c := range cand.Benchmarks {
+		if inBaseline[c.Name] {
+			continue
+		}
+		if cv, ok := value(c, metric); ok {
+			fmt.Printf("%-40s %14s %14.4g %8s  new (no baseline)\n", c.Name, "-", cv, "-")
+		} else {
+			fmt.Printf("%-40s %14s %14s %8s  new (no baseline)\n", c.Name, "-", "-", "-")
+		}
+	}
 	for _, b := range base.Benchmarks {
 		gated := gate == nil || gate.MatchString(b.Name)
 		c, ok := candidates[b.Name]

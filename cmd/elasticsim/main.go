@@ -8,12 +8,16 @@
 //	elasticsim -sweep gap                  # Figure 7: submission-gap sweep
 //	elasticsim -sweep rescale              # Figure 8: rescale-gap sweep
 //	elasticsim -sweep scenario             # all scenarios × policies × seeds
+//	elasticsim -sweep availability         # all capacity profiles × policies × seeds
 //	elasticsim -table1                     # Table 1, Simulation columns
 //	elasticsim -scenario diurnal           # one scenario under all policies
 //	elasticsim -trace wl.csv               # replay a saved trace (JSON or CSV)
+//	elasticsim -availability spot          # spot preemptions over the scenario run
+//	elasticsim -availability failures -mttf 900          # tune the failure rate
 //	elasticsim -seeds 100 -jobs 16         # paper-scale averaging
 //	elasticsim -parallel 1 -sweep gap      # sequential reference run
 //	elasticsim -scenario burst -save-workload wl.json   # export a workload
+//	elasticsim -availability spot -save-availability cap.json   # export a capacity trace
 //	elasticsim -table1 -json table1.json   # also write a metrics.Report
 package main
 
@@ -43,17 +47,83 @@ func main() {
 		saveWL   = flag.String("save-workload", "", "write the selected scenario's workload to this path and exit")
 		jsonPath = flag.String("json", "", "also write the results as a metrics.Report to this path")
 		workldFl = flag.String("workload", "", "deprecated alias of -trace")
+
+		availFl   = flag.String("availability", "", "capacity profile: failures | spot | drain | tides | trace")
+		availTr   = flag.String("availability-trace", "", "capacity trace file for -availability trace (implies it)")
+		mttf      = flag.Float64("mttf", 0, "failures profile: mean time to failure, seconds (0 = default)")
+		mttr      = flag.Float64("mttr", 0, "failures profile: mean time to repair, seconds (0 = default)")
+		preempt   = flag.Int("preempt", 0, "spot profile: slots reclaimed per preemption event (0 = default)")
+		saveAvail = flag.String("save-availability", "", "write the selected availability profile's capacity trace to this path and exit")
 	)
 	flag.Parse()
 	if *tracePth == "" {
 		*tracePth = *workldFl
 	}
+	// explicitScenario distinguishes a user-chosen -scenario from the
+	// "-trace implies -scenario trace" normalization below; -sweep
+	// scenario keeps its historical default (all scenarios plus the
+	// trace) only in the implied case.
+	explicitScenario := *scenario != ""
+	if *tracePth != "" && *scenario == "" {
+		*scenario = "trace"
+	}
+	if *availTr != "" && *availFl == "" {
+		*availFl = "trace"
+	}
+	// base is the cluster capacity the simulator runs with; availability
+	// traces are generated and restored against the same value so outage
+	// depths always line up with the simulated cluster.
+	base := sim.DefaultConfig(core.Elastic).Capacity
+	var profile workload.AvailabilityProfile
+	if *availFl != "" {
+		var err error
+		profile, err = workload.AvailabilityScenario(*availFl, workload.AvailabilityOptions{
+			MTTF: *mttf, MTTR: *mttr, PreemptSlots: *preempt, TracePath: *availTr,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	var report *metrics.Report
 	params := map[string]string{
 		"jobs": strconv.Itoa(*jobs), "seeds": strconv.Itoa(*seeds), "seed": strconv.FormatInt(*seed, 10),
 	}
+	if profile != nil {
+		params["availability"] = profile.Name()
+	}
 
 	switch {
+	case *saveAvail != "":
+		if profile == nil {
+			log.Fatal("-save-availability needs -availability")
+		}
+		w, _ := pickWorkload(*scenario, *tracePth, *seed)
+		tr, err := profile.Events(*seed, base, sim.AvailabilityHorizon(w))
+		if err != nil {
+			log.Fatal(err)
+		}
+		comment := fmt.Sprintf("%s profile, seed %d, base %d", profile.Name(), *seed, base)
+		if err := workload.SaveAvailabilityFile(*saveAvail, tr, comment); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d capacity events)\n", *saveAvail, len(tr.Events))
+	case *sweep == "availability":
+		gen := pickGenerator(*scenario, *tracePth)
+		profiles := workload.DefaultAvailabilityProfiles()
+		if profile != nil {
+			profiles = []workload.AvailabilityProfile{profile}
+		}
+		results, err := sim.AvailabilitySweep(profiles, gen, *seeds, 180, *parallel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printAvailability(results)
+		r := metrics.New("elasticsim", metrics.KindSweep)
+		r.Params = params
+		sw := metrics.FromScenarios(results)
+		sw.Name = "availability"
+		r.Sweeps = []metrics.Sweep{sw}
+		report = &r
 	case *saveWL != "":
 		w, comment := pickWorkload(*scenario, *tracePth, *seed)
 		if err := workload.SaveFile(*saveWL, w, comment); err != nil {
@@ -65,6 +135,9 @@ func main() {
 		// scenario selection would be silently ignored, so reject it.
 		if *scenario != "" || *tracePth != "" {
 			log.Fatalf("-scenario/-trace do not apply to -sweep %s (use -sweep scenario)", *sweep)
+		}
+		if profile != nil {
+			log.Fatalf("-availability does not apply to -sweep %s (use -sweep availability)", *sweep)
 		}
 		var points []sim.SweepPoint
 		var err error
@@ -84,11 +157,14 @@ func main() {
 		r.Sweeps = []metrics.Sweep{metrics.FromSweep(xName, xName+" (s)", points)}
 		report = &r
 	case *sweep == "scenario":
+		if profile != nil {
+			log.Fatal("-availability does not apply to -sweep scenario (use -sweep availability)")
+		}
 		// Default: every built-in scenario, plus the trace if one is given.
 		// With -scenario, sweep just that one.
 		var gens []workload.Generator
 		switch {
-		case *scenario != "":
+		case explicitScenario:
 			g, err := workload.Scenario(*scenario, *tracePth)
 			if err != nil {
 				log.Fatal(err)
@@ -110,22 +186,28 @@ func main() {
 		r.Sweeps = []metrics.Sweep{metrics.FromScenarios(results)}
 		report = &r
 	case *sweep != "":
-		log.Fatalf(`unknown sweep %q (have "gap", "rescale", "scenario")`, *sweep)
+		log.Fatalf(`unknown sweep %q (have "gap", "rescale", "scenario", "availability")`, *sweep)
 	case *table1:
+		if profile != nil {
+			log.Fatal("-availability does not apply to -table1 (the Table 1 reproduction is fixed-capacity)")
+		}
 		report = runTable1(params)
-	case *scenario != "" || *tracePth != "":
-		if *scenario == "" {
-			*scenario = "trace"
-		}
-		g, err := workload.Scenario(*scenario, *tracePth)
-		if err != nil {
-			log.Fatal(err)
-		}
+	case *scenario != "" || *tracePth != "" || profile != nil:
+		g := pickGenerator(*scenario, *tracePth)
 		w, err := g.Generate(*seed)
 		if err != nil {
 			log.Fatal(err)
 		}
-		report = runWorkload(g.Name(), w, params)
+		var avail workload.AvailabilityTrace
+		if profile != nil {
+			horizon := sim.AvailabilityHorizon(w)
+			avail, err = profile.Events(*seed, base, horizon)
+			if err != nil {
+				log.Fatal(err)
+			}
+			avail = avail.WithRestore(base, horizon)
+		}
+		report = runWorkload(g.Name(), w, avail, params)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -140,6 +222,19 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
+}
+
+// pickGenerator resolves -scenario/-trace to a workload generator, falling
+// back to the paper's uniform 16-job, 90 s-gap scenario when none is given.
+func pickGenerator(scenario, tracePath string) workload.Generator {
+	if scenario == "" {
+		return workload.Uniform{Jobs: 16, Gap: 90}
+	}
+	g, err := workload.Scenario(scenario, tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g
 }
 
 // pickWorkload builds the workload selected by -scenario/-seed; with no
@@ -184,19 +279,47 @@ func printScenarios(results []sim.ScenarioResult) {
 	}
 }
 
-func runWorkload(name string, w sim.Workload, params map[string]string) *metrics.Report {
-	fmt.Printf("Replaying %d-job %s workload under all policies (T_rescale_gap = 180 s)\n", len(w.Jobs), name)
-	fmt.Printf("%-14s %12s %12s %16s %18s\n",
-		"Scheduler", "Total (s)", "Utilization", "W. response (s)", "W. completion (s)")
+func printAvailability(results []sim.ScenarioResult) {
+	fmt.Println("availability,policy,utilization,goodput,total_time_s,weighted_response_s,weighted_completion_s,shrinks,requeues,work_lost_s")
+	for _, sr := range results {
+		for _, p := range core.AllPolicies() {
+			avg := sr.ByPolicy[p]
+			fmt.Printf("%s,%s,%.4f,%.4f,%.1f,%.2f,%.2f,%.1f,%.1f,%.1f\n",
+				sr.Name, p, avg.Utilization, avg.GoodputFrac, avg.TotalTime,
+				avg.WeightedResponse, avg.WeightedCompletion,
+				avg.ForcedShrinks, avg.Requeues, avg.WorkLostSec)
+		}
+	}
+}
+
+func runWorkload(name string, w sim.Workload, avail workload.AvailabilityTrace, params map[string]string) *metrics.Report {
+	withAvail := !avail.Empty()
+	if withAvail {
+		fmt.Printf("Replaying %d-job %s workload with %d capacity events under all policies (T_rescale_gap = 180 s)\n",
+			len(w.Jobs), name, len(avail.Events))
+		fmt.Printf("%-14s %12s %12s %16s %18s %9s %8s %8s %12s\n",
+			"Scheduler", "Total (s)", "Utilization", "W. response (s)", "W. completion (s)",
+			"Goodput", "Shrinks", "Requeues", "Lost (r·s)")
+	} else {
+		fmt.Printf("Replaying %d-job %s workload under all policies (T_rescale_gap = 180 s)\n", len(w.Jobs), name)
+		fmt.Printf("%-14s %12s %12s %16s %18s\n",
+			"Scheduler", "Total (s)", "Utilization", "W. response (s)", "W. completion (s)")
+	}
 	rep := metrics.New("elasticsim", metrics.KindRun)
 	rep.Params = params
 	for _, p := range core.AllPolicies() {
-		r, err := sim.RunPolicy(p, w, 180)
+		r, err := sim.RunPolicyAvailability(p, w, 180, avail)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-14s %12.0f %11.2f%% %16.2f %18.2f\n",
-			p, r.TotalTime, 100*r.Utilization, r.WeightedResponse, r.WeightedCompletion)
+		if withAvail {
+			fmt.Printf("%-14s %12.0f %11.2f%% %16.2f %18.2f %8.2f%% %8d %8d %12.1f\n",
+				p, r.TotalTime, 100*r.Utilization, r.WeightedResponse, r.WeightedCompletion,
+				100*r.GoodputFrac, r.ForcedShrinks, r.Requeues, r.WorkLostSec)
+		} else {
+			fmt.Printf("%-14s %12.0f %11.2f%% %16.2f %18.2f\n",
+				p, r.TotalTime, 100*r.Utilization, r.WeightedResponse, r.WeightedCompletion)
+		}
 		rep.Runs = append(rep.Runs, metrics.FromResult(name, r))
 	}
 	return &rep

@@ -7,6 +7,8 @@
 //	kubesim -table1            # Table 1, Actual columns
 //	kubesim -profiles          # Figure 9a: utilization profiles per policy
 //	kubesim -xlarge-timeline   # Figure 9b: replica evolution of an xlarge job
+//	kubesim -scenario uniform -availability spot   # failure/preemption scenario
+//	                                               # through the full emulation
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"elastichpc/internal/metrics"
 	"elastichpc/internal/model"
 	"elastichpc/internal/sim"
+	"elastichpc/internal/workload"
 )
 
 var ascii = flag.Bool("ascii", false, "render profiles as ASCII charts instead of CSV")
@@ -33,8 +36,24 @@ func main() {
 		sweep    = flag.Bool("sweep", false, "cross-validate the Figure 7 submission-gap sweep through the emulation")
 		seeds    = flag.Int("seeds", 3, "workloads per sweep point (emulation sweeps are slower than DES)")
 		jsonPath = flag.String("json", "", "also write the results as a metrics.Report to this path")
+
+		scenario = flag.String("scenario", "", "workload scenario to emulate: uniform | poisson | burst | diurnal | trace")
+		tracePth = flag.String("trace", "", "workload trace file for -scenario trace (implies it)")
+		seed     = flag.Int64("seed", 7, "scenario and availability generation seed")
+		availFl  = flag.String("availability", "", "capacity profile: failures | spot | drain | tides | trace")
+		availTr  = flag.String("availability-trace", "", "capacity trace file for -availability trace (implies it)")
+		mttf     = flag.Float64("mttf", 0, "failures profile: mean time to failure, seconds (0 = default)")
+		mttr     = flag.Float64("mttr", 0, "failures profile: mean time to repair, seconds (0 = default)")
+		preempt  = flag.Int("preempt", 0, "spot profile: slots reclaimed per preemption event (0 = default)")
+		ckpt     = flag.Int("ckpt-period", 1000, "periodic checkpoint interval in iterations for availability runs (0 = restart from scratch)")
 	)
 	flag.Parse()
+	if *tracePth != "" && *scenario == "" {
+		*scenario = "trace"
+	}
+	if *availTr != "" && *availFl == "" {
+		*availFl = "trace"
+	}
 
 	var report *metrics.Report
 	switch {
@@ -46,6 +65,8 @@ func main() {
 		report = runXLargeTimeline()
 	case *sweep:
 		report = runSweep(*seeds)
+	case *scenario != "" || *availFl != "":
+		report = runScenario(*scenario, *tracePth, *availFl, *availTr, *seed, *mttf, *mttr, *preempt, *ckpt)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -57,6 +78,70 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
+}
+
+// runScenario emulates one seeded workload scenario — optionally under a
+// time-varying capacity profile — for every policy: the kubesim twin of
+// `elasticsim -scenario X -availability Y`, sharing the same generators so
+// the two backends stay directly comparable.
+func runScenario(scenario, tracePath, availName, availTrace string, seed int64, mttf, mttr float64, preempt, ckpt int) *metrics.Report {
+	gen := workload.Generator(workload.Uniform{Jobs: 16, Gap: 90})
+	if scenario != "" {
+		g, err := workload.Scenario(scenario, tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen = g
+	}
+	var profile workload.AvailabilityProfile
+	if availName != "" {
+		p, err := workload.AvailabilityScenario(availName, workload.AvailabilityOptions{
+			MTTF: mttf, MTTR: mttr, PreemptSlots: preempt, TracePath: availTrace,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		profile = p
+	}
+
+	rep := metrics.New("kubesim", metrics.KindRun)
+	rep.Params = map[string]string{"scenario": gen.Name(), "seed": fmt.Sprint(seed)}
+	if profile != nil {
+		rep.Params["availability"] = profile.Name()
+		fmt.Printf("Emulating %s workload under %s capacity profile (seed %d, ckpt every %d iters)\n",
+			gen.Name(), profile.Name(), seed, ckpt)
+		fmt.Printf("%-14s %12s %12s %16s %18s %9s %8s %8s %12s\n",
+			"Scheduler", "Total (s)", "Utilization", "W. response (s)", "W. completion (s)",
+			"Goodput", "Shrinks", "Requeues", "Lost (r·s)")
+	} else {
+		fmt.Printf("Emulating %s workload (seed %d)\n", gen.Name(), seed)
+		fmt.Printf("%-14s %12s %12s %16s %18s\n",
+			"Scheduler", "Total (s)", "Utilization", "W. response (s)", "W. completion (s)")
+	}
+	for _, p := range core.AllPolicies() {
+		cfg := cluster.DefaultConfig(p)
+		cfg.CheckpointPeriod = ckpt
+		var res sim.Result
+		var err error
+		if profile != nil {
+			res, err = cluster.RunAvailability(cfg, gen, profile, seed)
+		} else {
+			res, err = cluster.RunGenerator(cfg, gen, seed)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if profile != nil {
+			fmt.Printf("%-14s %12.0f %11.2f%% %16.2f %18.2f %8.2f%% %8d %8d %12.1f\n",
+				p, res.TotalTime, 100*res.Utilization, res.WeightedResponse, res.WeightedCompletion,
+				100*res.GoodputFrac, res.ForcedShrinks, res.Requeues, res.WorkLostSec)
+		} else {
+			fmt.Printf("%-14s %12.0f %11.2f%% %16.2f %18.2f\n",
+				p, res.TotalTime, 100*res.Utilization, res.WeightedResponse, res.WeightedCompletion)
+		}
+		rep.Runs = append(rep.Runs, metrics.FromResult(gen.Name(), res))
+	}
+	return &rep
 }
 
 // runSweep replays the Figure 7 submission-gap sweep through the full

@@ -15,6 +15,9 @@
 //	rescale-bench -mode expand    # Fig. 5b: expand to double, varying replicas
 //	rescale-bench -mode size      # Fig. 5c: shrink 32→16, varying grid size
 //	rescale-bench -mode size -scenario diurnal   # grids from a scenario
+//	rescale-bench -mode avail -availability spot # measure the exact rescale
+//	                                             # transitions a capacity
+//	                                             # profile would force
 //	rescale-bench -mode timeline  # Fig. 6: per-iteration times around rescales
 package main
 
@@ -39,7 +42,7 @@ type point struct {
 
 func main() {
 	var (
-		mode     = flag.String("mode", "", "shrink | expand | size | timeline")
+		mode     = flag.String("mode", "", "shrink | expand | size | avail | timeline")
 		scale    = flag.Int("scale", 8, "divide paper grid sizes by this factor")
 		iters    = flag.Int("iters", 30, "iterations to run before rescaling")
 		scenario = flag.String("scenario", "", "derive -mode size grids from this workload scenario (uniform | poisson | burst | diurnal | trace)")
@@ -47,10 +50,21 @@ func main() {
 		seed     = flag.Int64("seed", 7, "scenario generation seed")
 		parallel = flag.Int("parallel", 1, "measurement points to run concurrently (timings get noisier above 1)")
 		jsonPath = flag.String("json", "", "also write the phase breakdown as a metrics.Report (kind bench); not supported by -mode timeline")
+		availFl  = flag.String("availability", "", "-mode avail: capacity profile whose transitions to measure (failures | spot | drain | tides | trace)")
+		availTr  = flag.String("availability-trace", "", "capacity trace file for -availability trace (implies it)")
+		mttf     = flag.Float64("mttf", 0, "failures profile: mean time to failure, seconds (0 = default)")
+		mttr     = flag.Float64("mttr", 0, "failures profile: mean time to repair, seconds (0 = default)")
+		preempt  = flag.Int("preempt", 0, "spot profile: slots reclaimed per preemption event (0 = default)")
 	)
 	flag.Parse()
 	if *tracePth != "" && *scenario == "" {
 		*scenario = "trace"
+	}
+	if *availTr != "" && *availFl == "" {
+		*availFl = "trace"
+	}
+	if *availFl != "" && *mode != "avail" {
+		log.Fatalf("-availability only applies to -mode avail, not -mode %s", *mode)
 	}
 	if *parallel > 1 {
 		fmt.Fprintf(os.Stderr, "# warning: -parallel %d shares cores between points; timings are noisier\n", *parallel)
@@ -82,6 +96,20 @@ func main() {
 		for _, n := range grids {
 			points = append(points, point{x: n, from: 32, to: 16, grid: n})
 		}
+	case "avail":
+		if *availFl == "" {
+			log.Fatal("-mode avail needs -availability")
+		}
+		pts, err := availPoints(*availFl, *availTr, *seed, *scale, *mttf, *mttr, *preempt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# availability transitions of profile %q seed %d (job replicas = capacity/4, grid %d)\n",
+			*availFl, *seed, 8192 / *scale)
+		for _, pt := range pts {
+			fmt.Printf("# transition %d: %d -> %d replicas\n", pt.x, pt.from, pt.to)
+		}
+		points = pts
 	case "timeline":
 		if *jsonPath != "" {
 			log.Fatal("-json does not apply to -mode timeline (per-iteration series has no report form)")
@@ -94,8 +122,11 @@ func main() {
 	}
 
 	header := "replicas"
-	if *mode == "size" {
+	switch *mode {
+	case "size":
 		header = "grid"
+	case "avail":
+		header = "transition"
 	}
 	fmt.Printf("%s,lb_s,ckpt_s,restart_s,restore_s,total_s,bytes\n", header)
 	rows := make([]charm.RescaleStats, len(points))
@@ -130,6 +161,51 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
+}
+
+// availPoints turns a capacity profile's distinct transitions into rescale
+// measurement points: each cluster-capacity move from→to becomes a job
+// rescale at a quarter of the slots (the paper's experiments average ~4
+// concurrent jobs on the 64-slot cluster), clamped to the runtime-practical
+// [2, 32] replica range and deduplicated. x is the transition index.
+func availPoints(name, tracePath string, seed int64, scale int, mttf, mttr float64, preempt int) ([]point, error) {
+	profile, err := workload.AvailabilityScenario(name, workload.AvailabilityOptions{
+		MTTF: mttf, MTTR: mttr, PreemptSlots: preempt, TracePath: tracePath,
+	})
+	if err != nil {
+		return nil, err
+	}
+	trans, err := workload.AvailabilityTransitions(profile, seed, 64, 4*3600)
+	if err != nil {
+		return nil, err
+	}
+	clamp := func(c int) int {
+		r := c / 4
+		if r < 2 {
+			r = 2
+		}
+		if r > 32 {
+			r = 32
+		}
+		return r
+	}
+	var pts []point
+	seen := map[[2]int]bool{}
+	for _, tr := range trans {
+		from, to := clamp(tr[0]), clamp(tr[1])
+		if from == to || seen[[2]int{from, to}] {
+			continue
+		}
+		seen[[2]int{from, to}] = true
+		pts = append(pts, point{x: len(pts), from: from, to: to, grid: 8192 / scale})
+		if len(pts) == 8 {
+			break // the distinct-transition set converges fast; 8 covers it
+		}
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("availability profile %q yields no measurable transitions", name)
+	}
+	return pts, nil
 }
 
 // sizeGrids picks the -mode size grid dimensions: Figure 5c's fixed list, or

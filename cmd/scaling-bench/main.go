@@ -15,6 +15,8 @@
 //	scaling-bench -app jacobi                    # Fig. 4a
 //	scaling-bench -app leanmd                    # Fig. 4b
 //	scaling-bench -app jacobi -scenario burst    # grids drawn from a scenario
+//	scaling-bench -app jacobi -availability spot # replica counts drawn from a
+//	                                             # capacity profile's levels
 //	scaling-bench -app jacobi -parallel 4        # 4 cells at a time
 package main
 
@@ -43,18 +45,55 @@ func main() {
 		seed     = flag.Int64("seed", 7, "scenario generation seed")
 		parallel = flag.Int("parallel", 1, "benchmark cells to run concurrently (timings get noisier above 1)")
 		jsonPath = flag.String("json", "", "also write the cells as a metrics.Report (kind bench) to this path")
+		availFl  = flag.String("availability", "", "derive the replica counts from this capacity profile's levels (failures | spot | drain | tides | trace)")
+		availTr  = flag.String("availability-trace", "", "capacity trace file for -availability trace (implies it)")
+		mttf     = flag.Float64("mttf", 0, "failures profile: mean time to failure, seconds (0 = default)")
+		mttr     = flag.Float64("mttr", 0, "failures profile: mean time to repair, seconds (0 = default)")
+		preempt  = flag.Int("preempt", 0, "spot profile: slots reclaimed per preemption event (0 = default)")
 	)
 	flag.Parse()
 	if *tracePth != "" && *scenario == "" {
 		*scenario = "trace"
 	}
+	if *availTr != "" && *availFl == "" {
+		*availFl = "trace"
+	}
 
+	// The replica axis: Figure 4's power-of-two ladder, or — with a
+	// capacity profile — the distinct capacity levels the cluster would
+	// actually pass through, so the curve covers the replica counts an
+	// availability experiment forces jobs onto.
 	replicas := []int{2, 4, 8, 16, 32, 64}
+	if *availFl != "" {
+		profile, err := workload.AvailabilityScenario(*availFl, workload.AvailabilityOptions{
+			MTTF: *mttf, MTTR: *mttr, PreemptSlots: *preempt, TracePath: *availTr,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		levels, err := workload.AvailabilityLevels(profile, *seed, 64, 4*3600)
+		if err != nil {
+			log.Fatal(err)
+		}
+		replicas = replicas[:0]
+		for _, c := range levels {
+			if c >= 2 {
+				replicas = append(replicas, c)
+			}
+		}
+		if len(replicas) == 0 {
+			log.Fatalf("availability profile %q yields no usable replica counts", *availFl)
+		}
+		fmt.Fprintf(os.Stderr, "# replica counts from availability profile %q seed %d: %v\n", *availFl, *seed, replicas)
+	}
 	var pes []int
 	for _, p := range replicas {
 		if p <= *maxPE {
 			pes = append(pes, p)
 		}
+	}
+	if len(pes) == 0 {
+		log.Fatalf("no replica counts fit under -maxpes %d (had %v)", *maxPE, replicas)
 	}
 	if *parallel > 1 {
 		fmt.Fprintf(os.Stderr, "# warning: -parallel %d shares cores between cells; timings are noisier\n", *parallel)

@@ -26,6 +26,12 @@
 //     uniform, Poisson, bursty, diurnal, and trace replay — feed both the
 //     simulator and the emulation, with parallel sweep harnesses over
 //     scenarios, policies, and seeds;
+//   - a cluster-availability engine (same package) whose capacity profiles —
+//     node failure/repair, spot preemption, maintenance drains, diurnal
+//     capacity tides, and trace replay — drive time-varying capacity through
+//     both backends via core.Scheduler.SetCapacity, with resilience metrics
+//     (goodput, work lost, preemptions survived by shrinking vs. requeued)
+//     and an availability sweep axis;
 //   - a versioned, machine-readable experiment-report schema
 //     (internal/metrics) that every harness CLI emits via -json and that
 //     cmd/benchreport diffs against regression thresholds — the format
@@ -245,6 +251,85 @@ func ScenarioSweep(gens []WorkloadGenerator, seeds int, rescaleGapSeconds float6
 // full k8s+operator emulation.
 func EmulateScenario(cfg ClusterConfig, g WorkloadGenerator, seed int64) (SimResult, error) {
 	return cluster.RunGenerator(cfg, g, seed)
+}
+
+// Cluster availability (the internal/workload capacity engine): profiles
+// generate reproducible capacity timelines that drive availability events
+// through the simulator and the emulation alike.
+type (
+	// AvailabilityProfile generates a capacity timeline from a seed.
+	AvailabilityProfile = workload.AvailabilityProfile
+	// AvailabilityTrace is a reproducible capacity timeline.
+	AvailabilityTrace = workload.AvailabilityTrace
+	// CapacityEvent sets the total slot capacity at an instant.
+	CapacityEvent = workload.CapacityEvent
+	// AvailabilityOptions tunes the built-in profiles from flag values.
+	AvailabilityOptions = workload.AvailabilityOptions
+	// FailureRepairProfile models node crashes and repairs (MTTF/MTTR).
+	FailureRepairProfile = workload.FailureRepair
+	// SpotPreemptionProfile models Poisson spot-instance reclaims.
+	SpotPreemptionProfile = workload.SpotPreemption
+	// MaintenanceDrainProfile models planned maintenance windows.
+	MaintenanceDrainProfile = workload.MaintenanceDrain
+	// DiurnalCapacityProfile models time-of-day capacity tides.
+	DiurnalCapacityProfile = workload.DiurnalCapacity
+	// CapacityStats counts a scheduler's forced-reclaim actions.
+	CapacityStats = core.CapacityStats
+)
+
+// DefaultAvailabilityProfiles returns the built-in capacity profiles.
+func DefaultAvailabilityProfiles() []AvailabilityProfile {
+	return workload.DefaultAvailabilityProfiles()
+}
+
+// AvailabilityScenario resolves an availability profile name ("failures",
+// "spot", "drain", "tides", or "trace" with a path in opts).
+func AvailabilityScenario(name string, opts AvailabilityOptions) (AvailabilityProfile, error) {
+	return workload.AvailabilityScenario(name, opts)
+}
+
+// SaveAvailabilityTrace writes a capacity trace to path — JSON, or the CSV
+// format when the path ends in ".csv".
+func SaveAvailabilityTrace(path string, tr AvailabilityTrace, comment string) error {
+	return workload.SaveAvailabilityFile(path, tr, comment)
+}
+
+// LoadAvailabilityTrace reads a capacity trace saved with
+// SaveAvailabilityTrace.
+func LoadAvailabilityTrace(path string) (AvailabilityTrace, error) {
+	return workload.LoadAvailabilityFile(path)
+}
+
+// ReplayAvailabilityTrace wraps an existing capacity trace as a profile so
+// it can join availability sweeps.
+func ReplayAvailabilityTrace(name string, tr AvailabilityTrace) AvailabilityProfile {
+	return workload.ReplayAvailability(name, tr)
+}
+
+// SimulateAvailability runs a workload under a policy on a time-varying
+// cluster: the capacity trace drives SetCapacity events through the
+// discrete-event loop, and the result carries the resilience aggregates.
+func SimulateAvailability(p Policy, w Workload, rescaleGapSeconds float64, tr AvailabilityTrace) (SimResult, error) {
+	return sim.RunPolicyAvailability(p, w, rescaleGapSeconds, tr)
+}
+
+// SimulateAvailabilityStreaming is SimulateAvailability in O(running jobs)
+// memory; the aggregates are bit-identical to the retained mode.
+func SimulateAvailabilityStreaming(p Policy, w Workload, rescaleGapSeconds float64, tr AvailabilityTrace) (SimResult, error) {
+	return sim.RunPolicyAvailabilityStreaming(p, w, rescaleGapSeconds, tr)
+}
+
+// AvailabilitySweep averages one workload scenario under every availability
+// profile × policy across seeds on a bounded worker pool.
+func AvailabilitySweep(profiles []AvailabilityProfile, gen WorkloadGenerator, seeds int, rescaleGapSeconds float64, workers int) ([]ScenarioResult, error) {
+	return sim.AvailabilitySweep(profiles, gen, seeds, rescaleGapSeconds, workers)
+}
+
+// EmulateAvailability generates one seed of a workload scenario and an
+// availability profile and runs both through the full k8s+operator
+// emulation — the cluster-backend twin of SimulateAvailability.
+func EmulateAvailability(cfg ClusterConfig, g WorkloadGenerator, p AvailabilityProfile, seed int64) (SimResult, error) {
+	return cluster.RunAvailability(cfg, g, p, seed)
 }
 
 // Experiment reports (internal/metrics): the versioned machine-readable

@@ -107,6 +107,15 @@ func (m *modelApps) Launch(job *operator.CharmJob, nodelist []string) error {
 		ph := m.c.cfg.Machine.RescaleOverhead(a.grid, a.replicas, a.replicas)
 		overhead = ph.Restart + ph.Restore
 	}
+	if overhead > 0 {
+		m.c.overheadArea += overhead * float64(a.replicas)
+	}
+	if m.c.preempted[job.Name] {
+		// The restart pays back a forced preemption: its frozen window
+		// is part of what the availability event cost.
+		delete(m.c.preempted, job.Name)
+		m.c.workLost += overhead * float64(a.replicas)
+	}
 	m.apps[job.Name] = a
 	m.rearm(a, overhead)
 	return nil
@@ -137,22 +146,41 @@ func (m *modelApps) rescale(name string, to int) error {
 	}
 	m.progress(a)
 	ph := m.c.cfg.Machine.RescaleOverhead(a.grid, a.replicas, to)
+	forced := to < a.replicas && m.c.Mgr.TakeForcedRescale(name)
 	a.replicas = to
 	a.rescales++
 	a.overheadSec += ph.Total()
+	m.c.overheadArea += ph.Total() * float64(to)
+	if forced {
+		// Forced by a capacity loss, not chosen by the policy.
+		m.c.workLost += ph.Total() * float64(to)
+	}
 	m.rearm(a, ph.Total())
 	return nil
 }
 
 // Stop implements operator.AppRuntime. If periodic checkpointing is enabled
-// the last completed checkpoint survives for a later restart.
+// the last completed checkpoint survives for a later restart. A stop during
+// a forced capacity reclaim marks the job preempted and charges the
+// progress past its last checkpoint as work the availability event lost —
+// unlike the simulator's idealized instant checkpoint, the emulation only
+// saves what the §3.2.2 periodic checkpointer actually wrote.
 func (m *modelApps) Stop(job *operator.CharmJob) {
 	if a, ok := m.apps[job.Name]; ok {
 		a.seq++ // cancel any pending completion
 		m.progress(a)
+		saved := 0.0
 		if a.ckptPeriod > 0 {
 			period := float64(a.ckptPeriod)
-			m.checkpoints[job.Name] = float64(int(a.itersDone/period)) * period
+			saved = float64(int(a.itersDone/period)) * period
+			m.checkpoints[job.Name] = saved
+		}
+		if m.c.Mgr.Scheduler().Reclaiming() {
+			m.c.preempted[job.Name] = true
+			if lost := a.itersDone - saved; lost > 0 && a.replicas > 0 {
+				iterTime := m.c.cfg.Machine.IterTime(a.grid, a.replicas)
+				m.c.workLost += lost * iterTime * float64(a.replicas)
+			}
 		}
 	}
 	delete(m.apps, job.Name)
@@ -178,12 +206,13 @@ func RunExperiment(cfg Config, w workload.Workload) (sim.Result, error) {
 		job := &operator.CharmJob{
 			ObjectMeta: k8s.ObjectMeta{Name: js.ID},
 			Spec: operator.CharmJobSpec{
-				MinReplicas:  spec.MinReplicas,
-				MaxReplicas:  maxR,
-				Priority:     js.Priority,
-				CPUPerWorker: 1,
-				ShmBytes:     1 << 30,
-				Workload:     operator.WorkloadSpec{Grid: spec.Grid, Steps: spec.Steps},
+				MinReplicas:      spec.MinReplicas,
+				MaxReplicas:      maxR,
+				Priority:         js.Priority,
+				CPUPerWorker:     1,
+				ShmBytes:         1 << 30,
+				Workload:         operator.WorkloadSpec{Grid: spec.Grid, Steps: spec.Steps},
+				CheckpointPeriod: cfg.CheckpointPeriod,
 			},
 		}
 		c.Submit(job, time.Duration(js.SubmitAt*float64(time.Second)))
@@ -217,5 +246,25 @@ func RunGenerator(cfg Config, g workload.Generator, seed int64) (sim.Result, err
 	if err != nil {
 		return sim.Result{}, err
 	}
+	return RunExperiment(cfg, w)
+}
+
+// RunAvailability generates one seed of a workload scenario and an
+// availability profile and runs both through the full emulation — the
+// cluster-backend twin of sim.RunPolicyAvailability. The trace gets a
+// restore-to-base event past its horizon so a profile ending mid-outage
+// cannot strand the backlog, mirroring sim.AvailabilitySweep.
+func RunAvailability(cfg Config, g workload.Generator, p workload.AvailabilityProfile, seed int64) (sim.Result, error) {
+	w, err := g.Generate(seed)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	base := cfg.Nodes * cfg.CPUPerNode
+	horizon := sim.AvailabilityHorizon(w)
+	tr, err := p.Events(seed, base, horizon)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	cfg.Availability = tr.WithRestore(base, horizon)
 	return RunExperiment(cfg, w)
 }

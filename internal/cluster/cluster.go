@@ -1,14 +1,8 @@
-// Package cluster is the full-stack emulation of the paper's EKS experiments
-// (§4.3.2): real k8s substrate (store, pod scheduler, kubelet), the real
-// Charm operator and elastic policy, and a modelled Charm++ application —
-// all driven deterministically on a virtual clock. It produces the "Actual"
-// column of Table 1 and the Figure 9 utilization/replica timelines, and its
-// results cross-validate the independent discrete-event simulator
-// (internal/sim), the same way the paper compares actual vs simulation.
 package cluster
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"elastichpc/internal/core"
@@ -16,6 +10,7 @@ import (
 	"elastichpc/internal/model"
 	"elastichpc/internal/operator"
 	"elastichpc/internal/sim"
+	"elastichpc/internal/workload"
 )
 
 // Config parameterizes the emulated cluster.
@@ -31,6 +26,18 @@ type Config struct {
 	Machine model.Machine
 	// PodStartupDelay is the kubelet bind→Running latency.
 	PodStartupDelay time.Duration
+	// Availability is the capacity timeline applied to the emulation —
+	// the same workload.AvailabilityTrace the discrete-event simulator
+	// consumes, so one profile drives both backends. Nodes×CPUPerNode is
+	// the base capacity; extra nodes are provisioned up front when the
+	// trace bursts above it. At equal virtual-clock instants, capacity
+	// events fire before submissions (both are scheduled in New/Submit
+	// registration order), mirroring the simulator's documented ordering.
+	Availability workload.AvailabilityTrace
+	// CheckpointPeriod (iterations) enables periodic checkpointing for
+	// every submitted job, bounding the work a forced preemption loses
+	// (§3.2.2). 0 means preempted jobs restart from scratch.
+	CheckpointPeriod int
 }
 
 // DefaultConfig matches the paper's cluster.
@@ -66,12 +73,26 @@ type Cluster struct {
 	replicaTL map[string][]sim.ReplicaSample
 
 	done map[string]bool
+
+	// Availability accounting, mirroring the simulator's: capSteps is
+	// the applied capacity curve (for the delivered-capacity utilization
+	// denominator), preempted marks jobs stopped by a reclaim so their
+	// restart overhead is attributed to the availability event, workLost
+	// and overheadArea are replica-seconds (forced-only and total).
+	capSteps     []sim.UtilSample
+	capEvents    int
+	preempted    map[string]bool
+	workLost     float64
+	overheadArea float64
 }
 
 // New builds a cluster with its control plane.
 func New(cfg Config) (*Cluster, error) {
 	if cfg.Nodes < 1 || cfg.CPUPerNode < 1 {
 		return nil, fmt.Errorf("cluster: bad node group %dx%d", cfg.Nodes, cfg.CPUPerNode)
+	}
+	if err := cfg.Availability.Validate(); err != nil {
+		return nil, err
 	}
 	start := time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
 	loop := k8s.NewEventLoop(start)
@@ -81,6 +102,7 @@ func New(cfg Config) (*Cluster, error) {
 		utilLast:  start,
 		replicaTL: make(map[string][]sim.ReplicaSample),
 		done:      make(map[string]bool),
+		preempted: make(map[string]bool),
 	}
 	c.PodSched = k8s.NewPodScheduler(loop, store)
 	c.Kubelet = k8s.NewKubelet(loop, store, cfg.PodStartupDelay)
@@ -97,7 +119,15 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.Mgr = mgr
 
-	for i := 0; i < cfg.Nodes; i++ {
+	// Provision nodes to the availability trace's burst ceiling: the
+	// policy scheduler's time-varying Capacity is what enforces the
+	// availability curve, so nodes beyond the current capacity simply
+	// stay idle until a burst event hands them out.
+	nodes := cfg.Nodes
+	if maxCap := cfg.Availability.MaxCapacity(cfg.Nodes * cfg.CPUPerNode); maxCap > cfg.Nodes*cfg.CPUPerNode {
+		nodes = int(math.Ceil(float64(maxCap) / float64(cfg.CPUPerNode)))
+	}
+	for i := 0; i < nodes; i++ {
 		node := &k8s.Node{
 			ObjectMeta:  k8s.ObjectMeta{Name: fmt.Sprintf("node-%d", i)},
 			CapacityCPU: cfg.CPUPerNode,
@@ -113,6 +143,22 @@ func New(cfg Config) (*Cluster, error) {
 	store.Subscribe(k8s.KindCharmJob, func(ev k8s.Event) { c.onJobEvent(ev) })
 
 	loop.RunUntilIdle()
+
+	// Schedule the availability events — after the control plane settles
+	// (RunUntilIdle drains every armed timer) but before any Submit call,
+	// so at equal virtual-clock instants a capacity event's timer fires
+	// ahead of a submission's, matching the simulator's documented
+	// capacity-before-submission ordering.
+	for _, ev := range cfg.Availability.Events {
+		ev := ev
+		loop.At(time.Duration(ev.At*float64(time.Second)), func() {
+			if err := c.Mgr.SetCapacity(ev.Capacity); err != nil {
+				panic(fmt.Sprintf("cluster: capacity event at t=%.1f: %v", ev.At, err))
+			}
+			c.capEvents++
+			c.capSteps = append(c.capSteps, sim.UtilSample{At: ev.At, Used: ev.Capacity})
+		})
+	}
 	return c, nil
 }
 
@@ -256,11 +302,26 @@ func (c *Cluster) Result() sim.Result {
 	if end > 0 {
 		c.utilArea += float64(c.usedCPU) * (c.Loop.Now().Sub(c.utilLast)).Seconds()
 		c.utilLast = c.Loop.Now()
-		res.Utilization = c.utilArea / (capacity * end)
+		if len(c.capSteps) == 0 {
+			res.Utilization = c.utilArea / (capacity * end)
+		} else {
+			// Time-varying capacity: divide by what was deliverable,
+			// through the exact integral the simulator uses.
+			res.Utilization = c.utilArea / sim.CapacityArea(capacity, c.capSteps, end)
+		}
 	}
 	if wSum > 0 {
 		res.WeightedResponse = wResp / wSum
 		res.WeightedCompletion = wComp / wSum
+	}
+	cs := c.Mgr.Scheduler().CapacityStats()
+	res.CapacityEvents = c.capEvents
+	res.ForcedShrinks = cs.ForcedShrinks
+	res.Requeues = cs.Requeues
+	res.WorkLostSec = c.workLost
+	res.GoodputFrac = 1
+	if c.utilArea > 0 {
+		res.GoodputFrac = 1 - c.overheadArea/c.utilArea
 	}
 	return res
 }

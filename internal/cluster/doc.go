@@ -1,0 +1,19 @@
+// Package cluster is the full-stack emulation of the paper's EKS
+// experiments (§4.3.2): real k8s substrate (store, pod scheduler, kubelet),
+// the real Charm operator and elastic policy, and a modelled Charm++
+// application — all driven deterministically on a virtual clock. It
+// produces the "Actual" column of Table 1 and the Figure 9
+// utilization/replica timelines, and its results cross-validate the
+// independent discrete-event simulator (internal/sim), the same way the
+// paper compares actual vs simulation.
+//
+// The emulation consumes the same workload.Workload and
+// workload.AvailabilityTrace values as the simulator. Capacity events fire
+// as virtual-clock timers (registered before submissions, so they win ties,
+// matching the simulator's documented ordering) and flow through
+// operator.Manager.SetCapacity into the shared policy scheduler; forced
+// preemptions run the §3.2.2 checkpoint machinery, so — unlike the
+// simulator's idealized instant checkpoint — a preempted job here only
+// resumes from what the periodic checkpointer actually saved
+// (Config.CheckpointPeriod).
+package cluster

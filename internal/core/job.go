@@ -1,13 +1,3 @@
-// Package core implements the paper's primary contribution: a priority-based
-// elastic job scheduling policy for malleable HPC jobs (paper §3.2, Figures
-// 2 and 3), plus the three baseline policies it is evaluated against
-// (rigid-min, rigid-max, moldable — paper §4.3).
-//
-// The scheduler is clock- and substrate-agnostic: it tracks slot accounting
-// itself and drives an Actuator interface, so the same policy code runs
-// inside the discrete-event simulator (internal/sim) and inside the
-// Kubernetes operator (internal/operator) — mirroring how the paper's
-// simulator and EKS deployment share one policy.
 package core
 
 import (
@@ -27,6 +17,7 @@ const (
 	StatePreempted
 )
 
+// String returns the state's display name.
 func (s State) String() string {
 	switch s {
 	case StateQueued:

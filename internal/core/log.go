@@ -16,8 +16,10 @@ const (
 	DecisionEnqueue
 	DecisionComplete
 	DecisionPreempt
+	DecisionCapacity
 )
 
+// String returns the decision kind's log label.
 func (k DecisionKind) String() string {
 	switch k {
 	case DecisionStart:
@@ -32,6 +34,8 @@ func (k DecisionKind) String() string {
 		return "complete"
 	case DecisionPreempt:
 		return "preempt"
+	case DecisionCapacity:
+		return "capacity"
 	}
 	return fmt.Sprintf("DecisionKind(%d)", int(k))
 }
@@ -42,7 +46,7 @@ type Decision struct {
 	At        time.Time
 	Kind      DecisionKind
 	JobID     string
-	Replicas  int // allocation after the decision (0 for enqueue/complete)
+	Replicas  int // allocation after the decision (0 for enqueue/complete; the new total for capacity)
 	FreeSlots int // free slots after the decision
 }
 
@@ -56,18 +60,23 @@ func (d Decision) String() string {
 // discarded (the operator runs for days).
 const maxLogEntries = 100_000
 
-// record appends a decision to the log.
+// record appends a per-job decision to the log.
 func (s *Scheduler) record(kind DecisionKind, j *Job) {
 	if !s.cfg.EnableLog {
 		return
 	}
+	s.appendDecision(Decision{
+		At: s.now(), Kind: kind, JobID: j.ID, Replicas: j.Replicas, FreeSlots: s.free,
+	})
+}
+
+// appendDecision adds one entry, discarding the oldest half at the cap.
+func (s *Scheduler) appendDecision(d Decision) {
 	if len(s.log) >= maxLogEntries {
 		copy(s.log, s.log[len(s.log)/2:])
 		s.log = s.log[:len(s.log)-len(s.log)/2]
 	}
-	s.log = append(s.log, Decision{
-		At: s.now(), Kind: kind, JobID: j.ID, Replicas: j.Replicas, FreeSlots: s.free,
-	})
+	s.log = append(s.log, d)
 }
 
 // Log returns a copy of the decision log (empty unless Config.EnableLog).

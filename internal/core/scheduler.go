@@ -25,6 +25,7 @@ const (
 	RigidMax
 )
 
+// String returns the policy's name as used in the paper's tables.
 func (p Policy) String() string {
 	switch p {
 	case Elastic:
@@ -127,6 +128,12 @@ type Scheduler struct {
 	minNeed int
 	free    int
 	log     []Decision
+
+	// capStats counts forced capacity reclaims (SetCapacity / Preempt);
+	// reclaiming is set while one is in progress so actuators can
+	// attribute the resulting shrinks to the availability event.
+	capStats   CapacityStats
+	reclaiming bool
 
 	// Scratch buffers reused across scheduling passes so the hot path
 	// allocates nothing per event.
@@ -577,9 +584,10 @@ func (s *Scheduler) NextGapExpiry() (at time.Time, ok bool) {
 // whose smallest slot requirement exceeds the free capacity is skipped
 // without being scanned at all.
 func (s *Scheduler) redistribute() {
-	if s.cfg.AgingRate > 0 && s.cfg.EnablePreemption {
+	if s.cfg.AgingRate > 0 && (s.cfg.EnablePreemption || s.capStats.Requeues > 0) {
 		// Preempted jobs do not age while queued jobs do, so a mixed
 		// backlog's relative order can drift; restore the heap invariant.
+		// Capacity reclaims requeue jobs even with preemption disabled.
 		s.queue.init()
 	}
 	run := append(s.runScratch[:0], s.running...)

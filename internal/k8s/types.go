@@ -187,6 +187,7 @@ const (
 	Deleted
 )
 
+// String returns the event type's display name.
 func (t EventType) String() string {
 	switch t {
 	case Added:

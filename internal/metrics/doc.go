@@ -1,0 +1,13 @@
+// Package metrics defines the versioned, machine-readable experiment-report
+// schema every harness emits: the discrete-event simulator's runs and
+// sweeps (internal/sim), the full-stack cluster emulation
+// (internal/cluster), and the Go benchmark output the CI regression gate
+// compares. One schema means one diff tool (cmd/benchreport), one artifact
+// format for CI, and reports that remain parseable as the repo evolves.
+//
+// The Schema field is bumped on schema growth and checked on every Read:
+// writers always emit the current generation (SchemaVersion), readers
+// accept everything back to MinReadableSchema — v2 added the resilience
+// aggregates to Run as a strict superset of v1, so v1 artifacts keep
+// loading — and newer generations are rejected rather than misinterpreted.
+package metrics

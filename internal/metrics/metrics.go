@@ -1,10 +1,3 @@
-// Package metrics defines the versioned, machine-readable experiment-report
-// schema every harness emits: the discrete-event simulator's runs and sweeps
-// (internal/sim), the full-stack cluster emulation (internal/cluster), and
-// the Go benchmark output the CI regression gate compares. One schema means
-// one diff tool (cmd/benchreport), one artifact format for CI, and reports
-// that remain parseable as the repo evolves — the Schema field is bumped on
-// incompatible changes and checked on every Read.
 package metrics
 
 import (
@@ -20,9 +13,16 @@ import (
 	"elastichpc/internal/sim"
 )
 
-// SchemaVersion is the report format generation. Readers reject reports
-// written by a different generation rather than misinterpreting them.
-const SchemaVersion = 1
+// SchemaVersion is the report format generation written by New. Version 2
+// added the resilience aggregates (capacity events, preemptions survived,
+// requeues, work lost, goodput) to Run. Readers accept every generation
+// back to MinReadableSchema — older fields are a strict subset, so a v1
+// report decodes losslessly — and reject newer generations rather than
+// misinterpreting them.
+const SchemaVersion = 2
+
+// MinReadableSchema is the oldest report generation Validate accepts.
+const MinReadableSchema = 1
 
 // Kind classifies what a report contains.
 type Kind string
@@ -60,6 +60,14 @@ type Run struct {
 	Utilization        float64 `json:"utilization"`
 	WeightedResponse   float64 `json:"weighted_response_s"`
 	WeightedCompletion float64 `json:"weighted_completion_s"`
+	// Resilience aggregates (schema v2; absent from v1 reports and from
+	// fixed-capacity runs). Counts are float64 so seed-averaged sweep
+	// cells keep their fractional means.
+	CapacityEvents   float64 `json:"capacity_events,omitempty"`
+	PreemptsSurvived float64 `json:"preempts_survived,omitempty"` // capacity losses absorbed by shrinking
+	Requeued         float64 `json:"requeued,omitempty"`          // checkpoint-requeued jobs
+	WorkLostSec      float64 `json:"work_lost_s,omitempty"`
+	Goodput          float64 `json:"goodput,omitempty"` // productive fraction of delivered replica-seconds
 }
 
 // Sweep is one parameter sweep: per-policy metrics at each x.
@@ -95,8 +103,8 @@ func New(tool string, kind Kind) Report {
 // Validate checks structural integrity: schema generation, a known kind, and
 // that the populated section matches the kind.
 func (r Report) Validate() error {
-	if r.Schema != SchemaVersion {
-		return fmt.Errorf("metrics: schema %d, this build reads %d", r.Schema, SchemaVersion)
+	if r.Schema < MinReadableSchema || r.Schema > SchemaVersion {
+		return fmt.Errorf("metrics: schema %d, this build reads %d..%d", r.Schema, MinReadableSchema, SchemaVersion)
 	}
 	switch r.Kind {
 	case KindRun:
@@ -157,6 +165,11 @@ func FromResult(name string, res sim.Result) Run {
 		Utilization:        res.Utilization,
 		WeightedResponse:   res.WeightedResponse,
 		WeightedCompletion: res.WeightedCompletion,
+		CapacityEvents:     float64(res.CapacityEvents),
+		PreemptsSurvived:   float64(res.ForcedShrinks),
+		Requeued:           float64(res.Requeues),
+		WorkLostSec:        res.WorkLostSec,
+		Goodput:            res.GoodputFrac,
 	}
 }
 
@@ -170,6 +183,11 @@ func FromAverage(name string, avg sim.AverageResult) Run {
 		Utilization:        avg.Utilization,
 		WeightedResponse:   avg.WeightedResponse,
 		WeightedCompletion: avg.WeightedCompletion,
+		CapacityEvents:     avg.CapacityEvents,
+		PreemptsSurvived:   avg.ForcedShrinks,
+		Requeued:           avg.Requeues,
+		WorkLostSec:        avg.WorkLostSec,
+		Goodput:            avg.GoodputFrac,
 	}
 }
 

@@ -16,8 +16,8 @@ import (
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
 
-// goldenReport is a fully populated schema-v1 report; the golden file pins
-// its JSON encoding so accidental schema drift fails loudly.
+// goldenReport is a fully populated current-schema report; the golden file
+// pins its JSON encoding so accidental schema drift fails loudly.
 func goldenReport() Report {
 	r := New("elasticsim", KindSweep)
 	r.Params = map[string]string{"seeds": "2", "rescale_gap": "180"}
@@ -30,7 +30,9 @@ func goldenReport() Report {
 					X: 90,
 					Runs: []Run{
 						{Policy: "elastic", Seeds: 2, TotalTime: 2012.5, Utilization: 0.8125,
-							WeightedResponse: 101.25, WeightedCompletion: 612.5},
+							WeightedResponse: 101.25, WeightedCompletion: 612.5,
+							CapacityEvents: 3, PreemptsSurvived: 2, Requeued: 1,
+							WorkLostSec: 84.5, Goodput: 0.9625},
 						{Policy: "moldable", Seeds: 2, TotalTime: 2400, Utilization: 0.75,
 							WeightedResponse: 180, WeightedCompletion: 700},
 					},
@@ -53,8 +55,27 @@ func goldenReport() Report {
 	return r
 }
 
+// TestReadsSchemaV1Golden pins backward compatibility: a report written by
+// the schema-1 generation must keep loading (the v2 fields are additive).
+func TestReadsSchemaV1Golden(t *testing.T) {
+	r, err := Read(filepath.Join("testdata", "report_v1.golden.json"))
+	if err != nil {
+		t.Fatalf("v1 report no longer readable: %v", err)
+	}
+	if r.Schema != 1 || r.Kind != KindSweep {
+		t.Errorf("schema %d kind %q, want 1/sweep", r.Schema, r.Kind)
+	}
+	run := r.Sweeps[0].Points[0].Runs[0]
+	if run.Policy != "elastic" || run.TotalTime != 2012.5 {
+		t.Errorf("v1 run decoded wrong: %+v", run)
+	}
+	if run.CapacityEvents != 0 || run.Goodput != 0 {
+		t.Errorf("v1 run grew resilience values from nowhere: %+v", run)
+	}
+}
+
 func TestGoldenRoundTrip(t *testing.T) {
-	golden := filepath.Join("testdata", "report_v1.golden.json")
+	golden := filepath.Join("testdata", "report_v2.golden.json")
 	r := goldenReport()
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {

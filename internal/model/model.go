@@ -25,6 +25,7 @@ const (
 	XLarge
 )
 
+// String returns the class name used in traces and reports.
 func (c Class) String() string {
 	switch c {
 	case Small:

@@ -79,7 +79,9 @@ func (c *Controller) reconcile(key string) {
 		return
 	}
 	job := obj.(*CharmJob)
-	if job.Status.Phase == JobSucceeded {
+	if job.Status.Phase == JobSucceeded || job.Status.Phase == JobPreempted {
+		// Preempted jobs hold no pods and wait for the policy scheduler
+		// to restart them; there is nothing to reconcile toward.
 		return
 	}
 
@@ -290,6 +292,33 @@ func (c *Controller) writeNodelist(job string, hosts []string) error {
 		return c.store.Update(cm)
 	}
 	return c.store.Create(cm)
+}
+
+// Preempt checkpoint-stops a running job for a forced capacity reclaim: the
+// application is stopped (persisting its periodic checkpoint, if enabled),
+// every pod is deleted, and the job parks in the Preempted phase until the
+// policy scheduler restarts it — the §3.2.2 fault-tolerance machinery turned
+// into a first-class scheduling action.
+func (c *Controller) Preempt(jobName string) error {
+	obj, ok := c.store.Get(k8s.KindCharmJob, jobName)
+	if !ok {
+		return fmt.Errorf("operator: job %q not found", jobName)
+	}
+	job := obj.(*CharmJob)
+	if job.Status.Phase == JobSucceeded || job.Status.Phase == JobPreempted {
+		return fmt.Errorf("operator: job %q is %s, cannot preempt", jobName, job.Status.Phase)
+	}
+	c.app.Stop(job)
+	job.Status.Phase = JobPreempted
+	job.Status.LaunchedReplicas = 0
+	job.Status.ReadyReplicas = 0
+	job.Status.Nodelist = nil
+	job.Status.Preemptions++
+	if err := c.store.Update(job); err != nil {
+		return err
+	}
+	k8s.DeletePods(c.store, map[string]string{"charmjob": jobName})
+	return nil
 }
 
 // Complete marks a job Succeeded, marks its pods Succeeded (releasing their

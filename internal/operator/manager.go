@@ -21,6 +21,12 @@ type Manager struct {
 	jobs   map[string]*managedJob
 	kickAt time.Time
 	armed  bool
+	// forced marks jobs whose latest shrink was ordered by a capacity
+	// reclaim. Actuation is asynchronous (the controller reconciles the
+	// spec change later, when Scheduler.Reclaiming is long false), so the
+	// attribution travels with the job name until the app runtime
+	// consumes it via TakeForcedRescale.
+	forced map[string]bool
 	// Submitted counts jobs accepted by the policy.
 	Submitted int
 }
@@ -33,7 +39,11 @@ type managedJob struct {
 
 // NewManager creates a manager that schedules onto the given capacity.
 func NewManager(loop k8s.Loop, store *k8s.Store, ctrl *Controller, cfg core.Config) (*Manager, error) {
-	m := &Manager{loop: loop, store: store, ctrl: ctrl, jobs: make(map[string]*managedJob)}
+	m := &Manager{
+		loop: loop, store: store, ctrl: ctrl,
+		jobs:   make(map[string]*managedJob),
+		forced: make(map[string]bool),
+	}
 	sched, err := core.NewScheduler(cfg, (*managerActuator)(m), loop.Now)
 	if err != nil {
 		return nil, err
@@ -75,6 +85,19 @@ func (m *Manager) Submit(job *CharmJob) error {
 	m.Submitted++
 	if err := m.sched.Submit(cj); err != nil {
 		delete(m.jobs, job.Name)
+		return err
+	}
+	m.armKick()
+	return nil
+}
+
+// SetCapacity applies a cluster capacity change (an availability event) to
+// the policy scheduler. A shrink may forcibly rescale running CharmJobs or
+// checkpoint-preempt them back to the queue; growth redistributes the new
+// slots exactly as a completion would. A follow-up kick is armed so gap-
+// blocked rescales re-run once eligible.
+func (m *Manager) SetCapacity(n int) error {
+	if err := m.sched.SetCapacity(n); err != nil {
 		return err
 	}
 	m.armKick()
@@ -123,7 +146,9 @@ type managerActuator Manager
 
 func (a *managerActuator) mgr() *Manager { return (*Manager)(a) }
 
-// StartJob creates the CharmJob object with the granted replica count.
+// StartJob creates the CharmJob object with the granted replica count. A
+// restart after a preemption reuses the existing object, carrying the
+// restart/preemption counters forward.
 func (a *managerActuator) StartJob(j *core.Job, replicas int) error {
 	m := a.mgr()
 	mj, ok := m.jobs[j.ID]
@@ -133,16 +158,35 @@ func (a *managerActuator) StartJob(j *core.Job, replicas int) error {
 	obj := mj.template.DeepCopy().(*CharmJob)
 	obj.Spec.Replicas = replicas
 	obj.Status = CharmJobStatus{Phase: JobPending}
-	if _, exists := m.store.Get(k8s.KindCharmJob, obj.Key()); exists {
+	if prev, exists := m.store.Get(k8s.KindCharmJob, obj.Key()); exists {
+		ps := prev.(*CharmJob).Status
+		obj.Status.Restarts = ps.Restarts
+		obj.Status.Preemptions = ps.Preemptions
 		return m.store.Update(obj)
 	}
 	return m.store.Create(obj)
 }
 
 // ShrinkJob lowers Spec.Replicas; the controller signals the app and removes
-// pods after the ack.
+// pods after the ack. A shrink ordered during a capacity reclaim is marked
+// forced so the app runtime can attribute its overhead to the availability
+// event once the (asynchronous) rescale actually lands.
 func (a *managerActuator) ShrinkJob(j *core.Job, to int) error {
+	m := a.mgr()
+	if m.sched.Reclaiming() {
+		m.forced[j.ID] = true
+	}
 	return a.setReplicas(j.ID, to)
+}
+
+// TakeForcedRescale reports whether the job's pending rescale was forced by
+// a capacity reclaim, clearing the mark.
+func (m *Manager) TakeForcedRescale(name string) bool {
+	if m.forced[name] {
+		delete(m.forced, name)
+		return true
+	}
+	return false
 }
 
 // ExpandJob raises Spec.Replicas; the controller adds pods, refreshes the
@@ -162,8 +206,14 @@ func (a *managerActuator) setReplicas(name string, to int) error {
 	return m.store.Update(job)
 }
 
-// PreemptJob is not supported by the cluster emulation (the paper's policy
-// explicitly avoids preemption to stay shared-filesystem-free, §3.2.2).
+// PreemptJob checkpoint-stops a job during a forced capacity reclaim. The
+// paper's policy avoids voluntary preemption to stay shared-filesystem-free
+// (§3.2.2), so outside a reclaim the call is still refused — losing the
+// hardware is not a policy choice.
 func (a *managerActuator) PreemptJob(j *core.Job) error {
-	return fmt.Errorf("operator: preemption not supported")
+	m := a.mgr()
+	if !m.sched.Reclaiming() {
+		return fmt.Errorf("operator: voluntary preemption not supported")
+	}
+	return m.ctrl.Preempt(j.ID)
 }

@@ -28,6 +28,11 @@ const (
 	JobRunning   JobPhase = "Running"   // application launched
 	JobRescaling JobPhase = "Rescaling" // shrink/expand in flight
 	JobSucceeded JobPhase = "Succeeded"
+	// JobPreempted marks a job checkpoint-stopped by a forced capacity
+	// reclaim (node loss, spot preemption). The controller leaves it
+	// alone until the policy scheduler restarts it, which resets the
+	// phase to Pending.
+	JobPreempted JobPhase = "Preempted"
 )
 
 // CharmJobSpec is the desired state. Replicas is the knob the elastic
@@ -77,6 +82,8 @@ type CharmJobStatus struct {
 	// Restarts counts failure-triggered relaunches (§3.2.2 fault
 	// tolerance).
 	Restarts int
+	// Preemptions counts forced checkpoint-stops from capacity reclaims.
+	Preemptions int
 }
 
 // CharmJob is the custom resource.

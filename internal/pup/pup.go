@@ -27,6 +27,7 @@ const (
 	Unpacking
 )
 
+// String returns the PUP mode's display name.
 func (m Mode) String() string {
 	switch m {
 	case Sizing:

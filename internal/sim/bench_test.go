@@ -36,12 +36,40 @@ func BenchmarkSim100kJobs(b *testing.B) {
 }
 
 func benchSim(b *testing.B, jobs int) {
-	w := burstBacklog(b, jobs)
+	benchSimAvail(b, jobs, burstBacklog(b, jobs), workload.AvailabilityTrace{})
+}
+
+// BenchmarkSimAvailability is the dynamic-capacity scale benchmark: one
+// million bursty submissions with ~10k maintenance-drain capacity events
+// interleaved — every drain forces reclaims across the running set and
+// every restore triggers a redistribution, exercising the SetCapacity path
+// at full event-loop speed. The waves are spaced ~8% wider than the
+// fixed-capacity backlog benchmark so the workload stays feasible at the
+// drained average capacity; a drain the cluster cannot absorb would grow
+// the backlog without bound and measure queue scanning, not event
+// handling.
+func BenchmarkSimAvailability(b *testing.B) {
+	const jobs = 1_000_000
+	w, err := (workload.Burst{Waves: jobs / 200, PerWave: 200, WaveGap: 31500}).Generate(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	span := w.Span()
+	every := span / 5000 // 5000 windows × (drain + restore) ≈ 10k events
+	tr, err := (workload.MaintenanceDrain{Every: every, Duration: every / 2, Keep: 56}).Events(1, 64, span)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSimAvail(b, jobs, w, tr)
+}
+
+func benchSimAvail(b *testing.B, jobs int, w Workload, tr workload.AvailabilityTrace) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := DefaultConfig(core.Elastic)
 		cfg.Streaming = true
+		cfg.Availability = tr
 		s, err := New(cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -52,6 +80,9 @@ func benchSim(b *testing.B, jobs int) {
 		}
 		if res.TotalTime <= 0 {
 			b.Fatalf("degenerate result: %+v", res)
+		}
+		if len(tr.Events) > 0 && res.CapacityEvents == 0 {
+			b.Fatalf("no capacity events applied (trace had %d)", len(tr.Events))
 		}
 	}
 	b.ReportMetric(float64(jobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")

@@ -1,15 +1,3 @@
-// Package sim is the discrete-event scheduling simulator of paper §4.3.1:
-// it replays a stream of malleable-job submissions against the four
-// scheduling policies, modelling job runtimes with the strong-scaling model
-// and charging the four-phase rescale overhead on every shrink/expand. It
-// reports the paper's four metrics: total time, cluster utilization,
-// weighted mean response time, and weighted mean completion time.
-//
-// The hot path is allocation-free at steady state: events and job records
-// are pooled, submissions stream from a sorted cursor instead of being
-// pre-pushed into the event heap, and in streaming mode (Config.Streaming)
-// per-job state is recycled at completion so a multi-million-job workload
-// needs only O(running jobs) memory.
 package sim
 
 import (
@@ -79,12 +67,27 @@ type Result struct {
 	// TotalTime is "the end-to-end runtime from the start of the first
 	// job to the end of the last job".
 	TotalTime float64
-	// Utilization is the time-averaged fraction of slots in use over
-	// the experiment duration.
+	// Utilization is the time-averaged fraction of slots in use over the
+	// experiment duration. With an availability trace the denominator is
+	// the capacity actually delivered over time, not the base capacity.
 	Utilization float64
 	// WeightedResponse and WeightedCompletion are priority-weighted means.
 	WeightedResponse   float64
 	WeightedCompletion float64
+	// Resilience aggregates. CapacityEvents counts applied availability
+	// events; ForcedShrinks and Requeues split the capacity losses by how
+	// running jobs absorbed them (shrink in place vs. checkpoint-requeue);
+	// WorkLostSec is the replica-seconds of compute frozen by
+	// availability-forced rescales and preemption restarts; GoodputFrac is
+	// the fraction of all delivered replica-seconds spent on real
+	// iterations rather than any rescale/restart overhead (1 when no
+	// overhead was charged). All are computed incrementally, so streaming
+	// and retained runs agree bit-for-bit.
+	CapacityEvents int
+	ForcedShrinks  int
+	Requeues       int
+	WorkLostSec    float64
+	GoodputFrac    float64
 	// Jobs, UtilTimeline, and ReplicaTimelines are nil in streaming mode
 	// (Config.Streaming); the aggregate metrics above are always computed.
 	Jobs             []JobMetrics
@@ -106,6 +109,13 @@ type Config struct {
 	// Result.ReplicaTimelines are nil in this mode; the aggregates are
 	// bit-identical to the retained mode.
 	Streaming bool
+	// Availability is the cluster-capacity timeline: each event sets the
+	// total slot count at its instant, driving core.Scheduler.SetCapacity
+	// through the event loop. Deterministic ordering rule: at equal
+	// timestamps, capacity events apply before submissions, which apply
+	// before completions and kicks; ties within each class keep trace,
+	// workload, and push order respectively. Empty means fixed capacity.
+	Availability workload.AvailabilityTrace
 	// Extensions (all default off, matching the paper's §3.2.1 policy).
 	JobOverheadSlots int
 	AgingRate        float64
@@ -202,6 +212,7 @@ type simJob struct {
 	frozenUntil float64 // rescale overhead window: no progress before this
 	seq         int64   // increments on every reschedule (and slot recycle)
 	started     bool
+	forcedOut   bool // preempted by a capacity reclaim; next start is a forced restart
 	timeline    []ReplicaSample
 }
 
@@ -231,6 +242,14 @@ type Simulator struct {
 	utilArea float64
 	utilLast float64
 	kickAt   float64 // earliest pending kick event time, or -1
+
+	// Availability accounting. capSteps records each applied capacity
+	// change (Used = new capacity) for the delivered-capacity integral;
+	// it is bounded by the trace length, so streaming mode keeps it too.
+	capSteps     []UtilSample
+	capEvents    int
+	workLost     float64 // replica-seconds frozen by forced rescales/restarts
+	overheadArea float64 // replica-seconds frozen by ALL rescales/restarts
 
 	// Aggregates accumulated incrementally at job completion, so streaming
 	// and retained runs produce bit-identical Result metrics.
@@ -336,6 +355,12 @@ func (s *Simulator) recycleEvent(ev *event) {
 }
 
 // Run simulates the workload to completion and returns the metrics.
+//
+// Event ordering at equal timestamps is fixed and documented: capacity
+// events apply first (in trace order), then submissions (in workload
+// order), then completions and kicks (in push order) — so a capacity drop
+// and a submission at the same instant always see the drop land before the
+// job is placed, and replaying the same trace is bit-for-bit reproducible.
 func (s *Simulator) Run(w Workload) (Result, error) {
 	n := len(w.Jobs)
 	// Submission cursor: indices in stable submission-time order. Equal
@@ -351,10 +376,36 @@ func (s *Simulator) Run(w Workload) (Result, error) {
 	})
 	specs := model.Specs()
 
+	// Capacity cursor: availability events stream from the validated
+	// trace the same way submissions do, so the heap stays O(running).
+	avail := s.cfg.Availability.Events
+	if err := s.cfg.Availability.Validate(); err != nil {
+		return Result{}, err
+	}
+	capi := 0
+
 	cursor := 0
 	processed := 0
-	limit := 5_000_000 + 64*n
+	limit := 5_000_000 + 64*n + 16*len(avail)
 	for {
+		if capi < len(avail) &&
+			(cursor < n || len(s.events) > 0 || s.sched.NumRunning() > 0 || s.sched.NumQueued() > 0) {
+			// Trailing capacity events after all work has drained are
+			// skipped (the guard above): they cannot affect any metric.
+			at := avail[capi].At
+			if (cursor >= n || at <= w.Jobs[order[cursor]].SubmitAt) &&
+				(len(s.events) == 0 || at <= s.events.top().at) {
+				ev := avail[capi]
+				capi++
+				processed++
+				s.advanceTo(ev.At)
+				if err := s.applyCapacity(ev.Capacity); err != nil {
+					return Result{}, err
+				}
+				s.scheduleKick()
+				continue
+			}
+		}
 		if cursor < n {
 			at := w.Jobs[order[cursor]].SubmitAt
 			if len(s.events) == 0 || at <= s.events.top().at {
@@ -457,6 +508,46 @@ func (s *Simulator) scheduleKick() {
 	s.push(t, evKick, nil, 0)
 }
 
+// applyCapacity drives one availability event through the scheduler. The
+// scheduler's forced reclaim calls back into the actuator, which recomputes
+// completion events and charges overhead exactly as policy rescales do.
+func (s *Simulator) applyCapacity(newCap int) error {
+	if err := s.sched.SetCapacity(newCap); err != nil {
+		return fmt.Errorf("sim: capacity event at t=%.1f: %w", s.now, err)
+	}
+	s.capEvents++
+	s.capSteps = append(s.capSteps, UtilSample{At: s.now, Used: newCap})
+	return nil
+}
+
+// CapacityArea integrates a capacity step function over [0, end] seconds:
+// base capacity until the first step, then each step's Used value from its
+// At onward. It is the utilization denominator both backends use when the
+// cluster's slot count varies — shared so the simulator and the emulation
+// can never drift apart on how delivered capacity is measured.
+func CapacityArea(base float64, steps []UtilSample, end float64) float64 {
+	area := 0.0
+	prevAt, prevCap := 0.0, base
+	for _, st := range steps {
+		at := st.At
+		if at > end {
+			at = end
+		}
+		if at > prevAt {
+			area += prevCap * (at - prevAt)
+			prevAt = at
+		}
+		if st.At >= end {
+			return area
+		}
+		prevCap = float64(st.Used)
+	}
+	if end > prevAt {
+		area += prevCap * (end - prevAt)
+	}
+	return area
+}
+
 // advanceTo moves simulated time forward, accumulating the utilization
 // integral.
 func (s *Simulator) advanceTo(t float64) {
@@ -556,6 +647,11 @@ func (a *simActuator) StartJob(j *core.Job, replicas int) error {
 		// Restarting from a disk checkpoint: charge restart+restore.
 		ph := s.cfg.Machine.RescaleOverhead(sj.spec.Grid, replicas, replicas)
 		resumeOverhead = ph.Restart + ph.Restore
+		s.overheadArea += resumeOverhead * float64(replicas)
+		if sj.forcedOut {
+			sj.forcedOut = false
+			s.workLost += resumeOverhead * float64(replicas)
+		}
 	}
 	sj.lastUpdate = s.now
 	s.record(replicas, sj, replicas)
@@ -579,6 +675,12 @@ func (a *simActuator) rescale(j *core.Job, to int) error {
 	delta := to - j.Replicas
 	sj.meta.Rescales++
 	sj.meta.OverheadSec += ph.Total()
+	s.overheadArea += ph.Total() * float64(to)
+	if s.sched.Reclaiming() {
+		// The shrink was forced by a capacity loss, not chosen by the
+		// policy: its frozen window is work the availability event cost.
+		s.workLost += ph.Total() * float64(to)
+	}
 	s.record(delta, sj, to)
 	s.reschedule(sj, ph.Total(), to)
 	return nil
@@ -591,6 +693,9 @@ func (a *simActuator) PreemptJob(j *core.Job) error {
 	// Checkpoint-to-store cost is charged when the job resumes; stopping
 	// invalidates the completion event.
 	sj.seq++
+	if s.sched.Reclaiming() {
+		sj.forcedOut = true
+	}
 	s.record(-j.Replicas, sj, 0)
 	return nil
 }
@@ -608,13 +713,29 @@ func (s *Simulator) collect(w Workload) (Result, error) {
 	}
 	res.TotalTime = s.lastEnd - s.firstStart
 	// Utilization over the experiment window [0, lastEnd]: no work happens
-	// after the last completion, so the accumulated area is complete.
+	// after the last completion, so the accumulated area is complete. With
+	// availability events the denominator is the capacity the cluster
+	// actually delivered over the window; without any, the closed form
+	// keeps the historical (bit-identical) result.
 	if s.lastEnd > 0 {
-		res.Utilization = s.utilArea / (float64(s.cfg.Capacity) * s.lastEnd)
+		if len(s.capSteps) == 0 {
+			res.Utilization = s.utilArea / (float64(s.cfg.Capacity) * s.lastEnd)
+		} else {
+			res.Utilization = s.utilArea / CapacityArea(float64(s.cfg.Capacity), s.capSteps, s.lastEnd)
+		}
 	}
 	if s.wSum > 0 {
 		res.WeightedResponse = s.wResp / s.wSum
 		res.WeightedCompletion = s.wComp / s.wSum
+	}
+	cs := s.sched.CapacityStats()
+	res.CapacityEvents = s.capEvents
+	res.ForcedShrinks = cs.ForcedShrinks
+	res.Requeues = cs.Requeues
+	res.WorkLostSec = s.workLost
+	res.GoodputFrac = 1
+	if s.utilArea > 0 {
+		res.GoodputFrac = 1 - s.overheadArea/s.utilArea
 	}
 	if !s.cfg.Streaming {
 		res.UtilTimeline = s.utilTL
@@ -646,6 +767,35 @@ func RunPolicy(p core.Policy, w Workload, rescaleGap float64) (Result, error) {
 func RunPolicyStreaming(p core.Policy, w Workload, rescaleGap float64) (Result, error) {
 	cfg := DefaultConfig(p)
 	cfg.RescaleGap = rescaleGap
+	cfg.Streaming = true
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(w)
+}
+
+// RunPolicyAvailability is RunPolicy under a time-varying cluster: the
+// capacity trace drives SetCapacity events through the event loop,
+// interleaved with the workload's submissions.
+func RunPolicyAvailability(p core.Policy, w Workload, rescaleGap float64, avail workload.AvailabilityTrace) (Result, error) {
+	cfg := DefaultConfig(p)
+	cfg.RescaleGap = rescaleGap
+	cfg.Availability = avail
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(w)
+}
+
+// RunPolicyAvailabilityStreaming is RunPolicyAvailability in streaming mode;
+// the aggregates (resilience metrics included) are bit-identical to the
+// retained mode.
+func RunPolicyAvailabilityStreaming(p core.Policy, w Workload, rescaleGap float64, avail workload.AvailabilityTrace) (Result, error) {
+	cfg := DefaultConfig(p)
+	cfg.RescaleGap = rescaleGap
+	cfg.Availability = avail
 	cfg.Streaming = true
 	s, err := New(cfg)
 	if err != nil {

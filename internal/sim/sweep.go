@@ -7,13 +7,21 @@ import (
 	"elastichpc/internal/workload"
 )
 
-// AverageResult is the mean of a metric set over repeated seeds.
+// AverageResult is the mean of a metric set over repeated seeds. The
+// resilience means (CapacityEvents through GoodputFrac) are zero for sweeps
+// that run on a fixed-capacity cluster, except GoodputFrac which is always
+// meaningful (policy rescales charge overhead too).
 type AverageResult struct {
 	Policy             core.Policy
 	TotalTime          float64
 	Utilization        float64
 	WeightedResponse   float64
 	WeightedCompletion float64
+	CapacityEvents     float64
+	ForcedShrinks      float64
+	Requeues           float64
+	WorkLostSec        float64
+	GoodputFrac        float64
 	Runs               int
 }
 
@@ -70,6 +78,11 @@ func sweepGrid(xs []float64, seeds, workers int, run func(x float64, p core.Poli
 				avg.Utilization += res.Utilization
 				avg.WeightedResponse += res.WeightedResponse
 				avg.WeightedCompletion += res.WeightedCompletion
+				avg.CapacityEvents += float64(res.CapacityEvents)
+				avg.ForcedShrinks += float64(res.ForcedShrinks)
+				avg.Requeues += float64(res.Requeues)
+				avg.WorkLostSec += res.WorkLostSec
+				avg.GoodputFrac += res.GoodputFrac
 				avg.Runs++
 			}
 			n := float64(avg.Runs)
@@ -77,6 +90,11 @@ func sweepGrid(xs []float64, seeds, workers int, run func(x float64, p core.Poli
 			avg.Utilization /= n
 			avg.WeightedResponse /= n
 			avg.WeightedCompletion /= n
+			avg.CapacityEvents /= n
+			avg.ForcedShrinks /= n
+			avg.Requeues /= n
+			avg.WorkLostSec /= n
+			avg.GoodputFrac /= n
 			pt.ByPolicy[p] = avg
 		}
 		points = append(points, pt)
@@ -160,6 +178,69 @@ func ScenarioSweep(gens []workload.Generator, seeds int, rescaleGap float64, wor
 		out[i] = ScenarioResult{Name: g.Name(), ByPolicy: pts[i].ByPolicy}
 	}
 	return out, nil
+}
+
+// AvailabilitySweep runs one workload scenario under every availability
+// profile × policy × seed on the worker pool and averages the metrics per
+// (profile, policy) — the third sweep axis next to the Figure 7/8 parameter
+// sweeps and the workload-scenario sweep. Each cell generates its workload
+// and capacity trace from its own seed, keeps the paper's base capacity,
+// and appends a restore-to-base event past the trace horizon so every
+// finite workload can complete even if a profile ends mid-outage. Results
+// are ordered like profiles.
+func AvailabilitySweep(profiles []workload.AvailabilityProfile, gen workload.Generator, seeds int, rescaleGap float64, workers int) ([]ScenarioResult, error) {
+	// Trace-file profiles re-read their file on every Events call; load
+	// once up front, like ScenarioSweep does for workload traces.
+	profiles = append([]workload.AvailabilityProfile(nil), profiles...)
+	for i, p := range profiles {
+		if tf, ok := p.(workload.AvailabilityTraceFile); ok {
+			tr, err := tf.Events(0, 0, 0)
+			if err != nil {
+				return nil, fmt.Errorf("availability sweep: %w", err)
+			}
+			profiles[i] = workload.ReplayAvailability(tf.Name(), tr)
+		}
+	}
+	xs := make([]float64, len(profiles))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	pts, err := sweepGrid(xs, seeds, workers, func(x float64, p core.Policy, seed int64) (Result, error) {
+		w, err := gen.Generate(seed)
+		if err != nil {
+			return Result{}, err
+		}
+		cfg := DefaultConfig(p)
+		cfg.RescaleGap = rescaleGap
+		horizon := AvailabilityHorizon(w)
+		tr, err := profiles[int(x)].Events(seed, cfg.Capacity, horizon)
+		if err != nil {
+			return Result{}, err
+		}
+		cfg.Availability = tr.WithRestore(cfg.Capacity, horizon)
+		s, err := New(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		return s.Run(w)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("availability sweep: %w", err)
+	}
+	out := make([]ScenarioResult, len(profiles))
+	for i, p := range profiles {
+		out[i] = ScenarioResult{Name: p.Name(), ByPolicy: pts[i].ByPolicy}
+	}
+	return out, nil
+}
+
+// AvailabilityHorizon is the capacity-trace length used when a profile is
+// generated for a specific workload: the submission span plus generous
+// drain time, so availability events keep arriving while the backlog runs
+// down. It is a deterministic function of the workload, which keeps sweep
+// cells reproducible.
+func AvailabilityHorizon(w Workload) float64 {
+	return w.Span() + 4*3600
 }
 
 // Table1Workload is the fixed configuration of §4.3.2: 16 random jobs

@@ -1,0 +1,27 @@
+// Package workload is the scenario engine shared by every execution
+// backend: the discrete-event simulator (internal/sim), the full-stack
+// cluster emulation (internal/cluster), and the cmd tools all consume the
+// same Workload and AvailabilityTrace values, so one scenario definition
+// can be generated once and replayed across harnesses.
+//
+// # Job scenarios
+//
+// The paper's evaluation (§4.3) uses a single workload shape — n jobs drawn
+// uniformly from four size classes at a fixed submission gap; this package
+// keeps that as the Uniform baseline and adds richer arrival processes
+// (Poisson, flash-crowd bursts, diurnal cycles) plus trace replay with a
+// JSON/CSV Save/Load round-trip for reproducible experiments.
+//
+// # Availability scenarios
+//
+// AvailabilityProfile is the capacity-side twin of Generator: profiles for
+// node failure/repair (FailureRepair), spot preemption (SpotPreemption),
+// maintenance drains (MaintenanceDrain), and diurnal capacity tides
+// (DiurnalCapacity) generate reproducible AvailabilityTrace timelines that
+// drive core.Scheduler.SetCapacity through both backends, with the same
+// JSON/CSV trace persistence as job workloads.
+//
+// Every generator and profile is deterministic per seed: the same seed
+// always yields an identical workload or trace, which is what makes
+// parallel sweep execution bit-identical to sequential.
+package workload

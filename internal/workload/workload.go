@@ -1,12 +1,3 @@
-// Package workload is the scenario engine shared by every execution backend:
-// the discrete-event simulator (internal/sim), the full-stack cluster
-// emulation (internal/cluster), and the cmd tools all consume the same
-// Workload value, so one scenario definition can be generated once and
-// replayed across harnesses. The paper's evaluation (§4.3) uses a single
-// workload shape — n jobs drawn uniformly from four size classes at a fixed
-// submission gap; this package keeps that as the Uniform baseline and adds
-// richer arrival processes (Poisson, flash-crowd bursts, diurnal cycles) plus
-// trace replay with a Save/Load round-trip for reproducible experiments.
 package workload
 
 import (
