@@ -30,6 +30,7 @@ import (
 	"elastichpc/internal/apps"
 	"elastichpc/internal/charm"
 	"elastichpc/internal/metrics"
+	"elastichpc/internal/profiling"
 	"elastichpc/internal/sim"
 	"elastichpc/internal/workload"
 )
@@ -50,8 +51,12 @@ func main() {
 		mttf     = flag.Float64("mttf", 0, "failures profile: mean time to failure, seconds (0 = default)")
 		mttr     = flag.Float64("mttr", 0, "failures profile: mean time to repair, seconds (0 = default)")
 		preempt  = flag.Int("preempt", 0, "spot profile: slots reclaimed per preemption event (0 = default)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this path on exit")
 	)
 	flag.Parse()
+	defer profiling.Start(*cpuprofile, *memprofile)()
 	if *tracePth != "" && *scenario == "" {
 		*scenario = "trace"
 	}

@@ -55,6 +55,8 @@ func (s *Scheduler) SetCapacity(n int) error {
 	if n == old {
 		return nil
 	}
+	s.refresh()
+	s.dirty()
 	s.cfg.Capacity = n
 	s.recordCapacity(n)
 	if n > old {
@@ -90,6 +92,7 @@ func (s *Scheduler) Preempt(slots int) int {
 	if slots <= 0 {
 		return 0
 	}
+	s.refresh()
 	before := s.free
 	s.reclaim(slots)
 	return s.free - before
@@ -125,8 +128,10 @@ func (s *Scheduler) reclaim(need int) {
 		}
 		s.free += freed
 		j.Replicas = to
-		j.LastAction = s.now()
+		j.LastAction = s.tnow
+		j.lastActionNs = s.tnowNs
 		j.Rescales++
+		s.dirty()
 		s.capStats.ForcedShrinks++
 		s.capStats.SlotsReclaimed += freed
 		s.record(DecisionShrink, j)
@@ -144,7 +149,8 @@ func (s *Scheduler) reclaim(need int) {
 		s.free += freed
 		j.Replicas = 0
 		j.State = StatePreempted
-		j.LastAction = s.now()
+		j.LastAction = s.tnow
+		j.lastActionNs = s.tnowNs
 		s.removeRunning(j)
 		s.queue.push(j)
 		if jn := s.jobNeed(j); jn < s.minNeed {
@@ -154,14 +160,4 @@ func (s *Scheduler) reclaim(need int) {
 		s.capStats.SlotsReclaimed += freed
 		s.record(DecisionPreempt, j)
 	}
-}
-
-// recordCapacity logs a capacity change (EnableLog only).
-func (s *Scheduler) recordCapacity(n int) {
-	if !s.cfg.EnableLog {
-		return
-	}
-	s.appendDecision(Decision{
-		At: s.now(), Kind: DecisionCapacity, JobID: "", Replicas: n, FreeSlots: s.free,
-	})
 }

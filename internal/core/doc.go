@@ -21,4 +21,13 @@
 // Invariant maintained across every operation: the sum of running jobs'
 // replicas (plus per-job overhead slots) and the free-slot count equals the
 // current capacity.
+//
+// The scheduler is incremental: redistribution passes early-out when no
+// slot, queue, or capacity state changed since the last completed pass (and
+// no blocking rescale gap has expired), backlog drains are skipped when the
+// free-plus-freeable budget cannot place even the smallest waiting job, and
+// priority/gap comparisons run on cached integer keys. The early-outs are
+// decision-transparent — Config.FullRedistribute disables them, and the
+// equivalence tests pin incremental ≡ full across policies and workloads.
+// docs/ARCHITECTURE.md lists the invariants.
 package core

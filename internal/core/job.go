@@ -2,7 +2,8 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"time"
 )
 
@@ -42,6 +43,24 @@ type Job struct {
 	MinReplicas int
 	MaxReplicas int
 	SubmitTime  time.Time
+
+	// Ref is an opaque driver-owned handle. The scheduler never reads or
+	// writes it; drivers that intern job identities (the simulator's slab
+	// indices, the operator's managed-job table) store their int32 index
+	// here so actuator callbacks resolve a *Job to driver state without a
+	// string-keyed map lookup on the hot path.
+	Ref int32
+
+	// Comparison caches maintained by the scheduler: the base priority as
+	// a float and the submit/last-action instants in Unix nanoseconds, so
+	// the priority order and rescale-gap checks on the hot path are plain
+	// arithmetic instead of time.Time method calls. submitNs is stamped by
+	// Submit, lastActionNs wherever LastAction is set. (Virtual-clock
+	// drivers carry no monotonic reading, so the nanosecond comparison is
+	// exactly time.Time's.)
+	prio         float64
+	submitNs     int64
+	lastActionNs int64
 
 	// Managed by the scheduler.
 	State      State
@@ -83,29 +102,30 @@ func (j *Job) CompletionTime() time.Duration {
 	return j.EndTime.Sub(j.SubmitTime)
 }
 
-// byPriority sorts jobs in decreasing scheduling priority: higher Priority
-// first; among equals, earlier submission first; IDs break exact ties so
-// ordering is total and deterministic.
-type byPriority struct {
-	jobs []*Job
-	eff  func(*Job) float64
-}
-
-func (b byPriority) Len() int      { return len(b.jobs) }
-func (b byPriority) Swap(i, j int) { b.jobs[i], b.jobs[j] = b.jobs[j], b.jobs[i] }
-func (b byPriority) Less(i, j int) bool {
-	ji, jj := b.jobs[i], b.jobs[j]
-	pi, pj := b.eff(ji), b.eff(jj)
-	if pi != pj {
-		return pi > pj
+// sortJobs sorts jobs in decreasing effective priority (Scheduler.before
+// order). The stable merge sort is kept deliberately: drained backlogs are
+// nearly sorted (a heapified sorted remainder plus a few fresh pushes), the
+// regime where the merge's insertion runs approach O(n) while a quicksort
+// still partitions. slices.SortStableFunc avoids the sort.Interface boxing
+// and method-value closure the previous implementation allocated per call.
+func (s *Scheduler) sortJobs(jobs []*Job) {
+	if s.cfg.AgingRate > 0 {
+		slices.SortStableFunc(jobs, s.compare)
+		return
 	}
-	if !ji.SubmitTime.Equal(jj.SubmitTime) {
-		return ji.SubmitTime.Before(jj.SubmitTime)
-	}
-	return ji.ID < jj.ID
-}
-
-// sortByPriority sorts jobs in decreasing effective priority.
-func sortByPriority(jobs []*Job, eff func(*Job) float64) {
-	sort.Stable(byPriority{jobs: jobs, eff: eff})
+	// Aging off: effective priority is the cached base priority, so the
+	// comparator is pure field arithmetic.
+	slices.SortStableFunc(jobs, func(a, b *Job) int {
+		switch {
+		case a.prio > b.prio:
+			return -1
+		case a.prio < b.prio:
+			return 1
+		case a.submitNs < b.submitNs:
+			return -1
+		case a.submitNs > b.submitNs:
+			return 1
+		}
+		return strings.Compare(a.ID, b.ID)
+	})
 }

@@ -60,26 +60,63 @@ func (d Decision) String() string {
 // discarded (the operator runs for days).
 const maxLogEntries = 100_000
 
+// logRing is a bounded ring buffer of decisions, mirroring the charm msgq
+// ring: the backing array grows until maxLogEntries and is then reused
+// in place, so steady-state logging overwrites the oldest slot instead of
+// copying or allocating per entry.
+type logRing struct {
+	buf  []Decision
+	head int // index of the oldest entry once the ring is full
+	n    int // live entries
+}
+
+// add appends one entry, overwriting the oldest at the cap.
+func (r *logRing) add(d Decision) {
+	if len(r.buf) < maxLogEntries {
+		r.buf = append(r.buf, d)
+		r.n = len(r.buf)
+		return
+	}
+	r.buf[r.head] = d
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+}
+
+// snapshot returns the entries oldest-first as a fresh slice.
+func (r *logRing) snapshot() []Decision {
+	if r.n == 0 {
+		return nil
+	}
+	out := make([]Decision, 0, r.n)
+	out = append(out, r.buf[r.head:]...)
+	out = append(out, r.buf[:r.head]...)
+	return out
+}
+
 // record appends a per-job decision to the log.
 func (s *Scheduler) record(kind DecisionKind, j *Job) {
 	if !s.cfg.EnableLog {
 		return
 	}
-	s.appendDecision(Decision{
-		At: s.now(), Kind: kind, JobID: j.ID, Replicas: j.Replicas, FreeSlots: s.free,
+	s.log.add(Decision{
+		At: s.tnow, Kind: kind, JobID: j.ID, Replicas: j.Replicas, FreeSlots: s.free,
 	})
 }
 
-// appendDecision adds one entry, discarding the oldest half at the cap.
-func (s *Scheduler) appendDecision(d Decision) {
-	if len(s.log) >= maxLogEntries {
-		copy(s.log, s.log[len(s.log)/2:])
-		s.log = s.log[:len(s.log)-len(s.log)/2]
+// recordCapacity logs a capacity change (EnableLog only).
+func (s *Scheduler) recordCapacity(n int) {
+	if !s.cfg.EnableLog {
+		return
 	}
-	s.log = append(s.log, d)
+	s.log.add(Decision{
+		At: s.tnow, Kind: DecisionCapacity, JobID: "", Replicas: n, FreeSlots: s.free,
+	})
 }
 
-// Log returns a copy of the decision log (empty unless Config.EnableLog).
+// Log returns a copy of the decision log, oldest entry first (empty unless
+// Config.EnableLog).
 func (s *Scheduler) Log() []Decision {
-	return append([]Decision(nil), s.log...)
+	return s.log.snapshot()
 }

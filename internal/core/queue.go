@@ -6,7 +6,7 @@ import "math"
 const maxSlotNeed = math.MaxInt
 
 // jobQueue is the scheduler's indexed wait queue: a binary max-heap of queued
-// (and preempted) jobs ordered like byPriority — decreasing effective
+// (and preempted) jobs ordered like Scheduler.before — decreasing effective
 // priority, ties broken by earlier submission, then ID. It replaces the
 // sorted-slice queue whose full re-sort on every enqueue made million-job
 // backlogs O(n log n) per scheduling event; heap operations are O(log n).
@@ -27,18 +27,6 @@ type jobQueue struct {
 
 // Len reports the number of waiting jobs.
 func (q *jobQueue) Len() int { return len(q.jobs) }
-
-// before reports whether a schedules ahead of b (byPriority order).
-func (q *jobQueue) before(a, b *Job) bool {
-	pa, pb := q.s.effPriority(a), q.s.effPriority(b)
-	if pa != pb {
-		return pa > pb
-	}
-	if !a.SubmitTime.Equal(b.SubmitTime) {
-		return a.SubmitTime.Before(b.SubmitTime)
-	}
-	return a.ID < b.ID
-}
 
 // push inserts a job.
 func (q *jobQueue) push(j *Job) {
@@ -67,7 +55,7 @@ func (q *jobQueue) pop() *Job {
 func (q *jobQueue) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !q.before(q.jobs[i], q.jobs[parent]) {
+		if !q.s.before(q.jobs[i], q.jobs[parent]) {
 			return
 		}
 		q.jobs[i], q.jobs[parent] = q.jobs[parent], q.jobs[i]
@@ -82,10 +70,10 @@ func (q *jobQueue) down(i int) {
 		if child >= n {
 			return
 		}
-		if r := child + 1; r < n && q.before(q.jobs[r], q.jobs[child]) {
+		if r := child + 1; r < n && q.s.before(q.jobs[r], q.jobs[child]) {
 			child = r
 		}
-		if !q.before(q.jobs[child], q.jobs[i]) {
+		if !q.s.before(q.jobs[child], q.jobs[i]) {
 			return
 		}
 		q.jobs[i], q.jobs[child] = q.jobs[child], q.jobs[i]
@@ -113,7 +101,7 @@ func (q *jobQueue) drainSorted() []*Job {
 	out := q.jobs
 	q.jobs = q.spare[:0]
 	q.spare = nil
-	sortByPriority(out, q.s.effPriority)
+	q.s.sortJobs(out)
 	return out
 }
 
@@ -128,6 +116,6 @@ func (q *jobQueue) recycleDrained(drained []*Job) {
 // disturbing the heap.
 func (q *jobQueue) sorted() []*Job {
 	out := append([]*Job(nil), q.jobs...)
-	sortByPriority(out, q.s.effPriority)
+	q.s.sortJobs(out)
 	return out
 }

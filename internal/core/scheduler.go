@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -107,17 +108,54 @@ type Config struct {
 	CostBenefit *CostBenefit
 	// EnableLog records every scheduling decision for retrieval via
 	// Scheduler.Log — the audit trail operators want when a rescale storm
-	// needs explaining.
+	// needs explaining. Entries land in a bounded ring buffer, so steady
+	// state logging allocates nothing per decision.
 	EnableLog bool
+	// FullRedistribute disables the incremental-scheduling early-outs:
+	// every redistribute runs the full Figure 3 pass and every Reschedule
+	// drains the whole queue, exactly like the pre-incremental scheduler.
+	// The early-outs are provably decision-transparent (the equivalence
+	// tests pin incremental ≡ full across policies and workloads), so
+	// this knob exists for those audits and for debugging, not for
+	// production use.
+	FullRedistribute bool
 }
 
 // Scheduler implements the priority-based elastic policy and its baselines.
 // It is not goroutine-safe; callers (simulator event loop, operator
 // reconcile queue) serialize access.
+//
+// Incremental-scheduling invariants (relied on by the hot path, pinned by
+// the equivalence tests):
+//
+//   - free = Capacity − Σ running Replicas − NumRunning×JobOverheadSlots,
+//     so maxFreeable is O(1) arithmetic over free and runMinSum instead of
+//     a scan of the running set.
+//   - runMinSum = Σ running policy-minimums, maintained by
+//     insertRunning/removeRunning.
+//   - minNeed is a conservative (never above the true value) bound on the
+//     smallest slot count any waiting job needs; it only ever under-shoots,
+//     so gates that compare budgets against it skip work but never skip a
+//     placeable job.
+//   - clean means the last redistribute ran to completion and no slot,
+//     queue, or capacity state changed since; cleanUntil is the earliest
+//     rescale-gap expiry that could unblock an expansion the pass skipped.
+//     Any mutation (start/shrink/expand/enqueue/complete/reclaim/
+//     SetCapacity) clears clean.
 type Scheduler struct {
 	cfg Config
 	act Actuator
 	now func() time.Time
+
+	// tnow caches the clock for the duration of one public call. Drivers
+	// hold time constant within a scheduling pass (the simulator's event
+	// handler, the operator's reconcile callback), so one read per entry
+	// point replaces thousands of closure calls on the hot path. tnowNs
+	// mirrors it in Unix nanoseconds for the arithmetic-only comparisons;
+	// gapNs is the precomputed RescaleGap (MaxInt64 = never rescale).
+	tnow   time.Time
+	tnowNs int64
+	gapNs  int64
 
 	running []*Job
 	queue   jobQueue
@@ -127,7 +165,16 @@ type Scheduler struct {
 	// backlogs that cannot possibly place a job.
 	minNeed int
 	free    int
-	log     []Decision
+	// runMinSum is the sum of policy-minimum replicas over the running
+	// set, maintained incrementally so maxFreeable is O(1).
+	runMinSum int
+
+	// clean/cleanUntilNs implement the redistribute early-out; see the
+	// struct comment. cleanUntilNs is Unix nanoseconds, 0 = no time bound.
+	clean        bool
+	cleanUntilNs int64
+
+	log logRing
 
 	// capStats counts forced capacity reclaims (SetCapacity / Preempt);
 	// reclaiming is set while one is in progress so actuators can
@@ -155,19 +202,62 @@ func NewScheduler(cfg Config, act Actuator, now func() time.Time) (*Scheduler, e
 		// Moldable = elastic that never rescales (paper §4.3.2).
 		cfg.RescaleGap = time.Duration(math.MaxInt64)
 	}
-	s := &Scheduler{cfg: cfg, act: act, now: now, free: cfg.Capacity, minNeed: maxSlotNeed}
+	s := &Scheduler{cfg: cfg, act: act, now: now, free: cfg.Capacity, minNeed: maxSlotNeed,
+		gapNs: int64(cfg.RescaleGap)}
 	s.queue.s = s
 	return s, nil
 }
+
+// refresh caches the clock for the duration of one public call.
+func (s *Scheduler) refresh() {
+	s.tnow = s.now()
+	s.tnowNs = s.tnow.UnixNano()
+}
+
+// dirty invalidates the clean-pass flag; every mutation of slots, the
+// running set, the queue, or capacity goes through one of the callers.
+func (s *Scheduler) dirty() { s.clean = false }
 
 // FreeSlots reports the scheduler's current free-slot count.
 func (s *Scheduler) FreeSlots() int { return s.free }
 
 // Running returns a copy of the running jobs in decreasing priority order.
-func (s *Scheduler) Running() []*Job { return append([]*Job(nil), s.running...) }
+// Hot paths that only read should prefer VisitRunning, which does not copy.
+func (s *Scheduler) Running() []*Job {
+	s.refresh()
+	return append([]*Job(nil), s.running...)
+}
 
 // Queued returns a copy of the queued jobs in decreasing priority order.
-func (s *Scheduler) Queued() []*Job { return s.queue.sorted() }
+// Hot paths that only read should prefer VisitQueued, which does not copy.
+func (s *Scheduler) Queued() []*Job {
+	s.refresh()
+	return s.queue.sorted()
+}
+
+// VisitRunning calls fn for each running job in decreasing priority order,
+// stopping early when fn returns false. It does not copy: the *Job values
+// are the scheduler's own records, and fn must not mutate them or call back
+// into scheduling methods.
+func (s *Scheduler) VisitRunning(fn func(*Job) bool) {
+	for _, j := range s.running {
+		if !fn(j) {
+			return
+		}
+	}
+}
+
+// VisitQueued calls fn for each waiting job, stopping early when fn returns
+// false. Iteration order is the queue's internal heap order, not priority
+// order — use Queued when order matters. Like VisitRunning it does not copy,
+// and fn must not mutate the jobs or call back into scheduling methods.
+func (s *Scheduler) VisitQueued(fn func(*Job) bool) {
+	for _, j := range s.queue.jobs {
+		if !fn(j) {
+			return
+		}
+	}
+}
 
 // NumRunning reports the running-job count without copying (the per-event
 // fast path for drivers that only need the length).
@@ -188,13 +278,52 @@ func (s *Scheduler) Utilization() float64 {
 	return float64(s.cfg.Capacity-s.free) / float64(s.cfg.Capacity)
 }
 
-// effPriority computes a job's effective priority including aging.
+// effPriority computes a job's effective priority including aging, against
+// the pass-cached clock. Without aging it is the cached base priority — no
+// conversion, no time math.
 func (s *Scheduler) effPriority(j *Job) float64 {
-	p := float64(j.Priority)
 	if s.cfg.AgingRate > 0 && j.State == StateQueued {
-		p += s.cfg.AgingRate * s.now().Sub(j.SubmitTime).Seconds()
+		// Kept as time.Time math: Duration.Seconds rounds differently
+		// from a raw nanosecond quotient, and aged priorities must stay
+		// bit-identical to the pre-incremental scheduler.
+		return j.prio + s.cfg.AgingRate*s.tnow.Sub(j.SubmitTime).Seconds()
 	}
-	return p
+	return j.prio
+}
+
+// compare orders jobs for scheduling: decreasing effective priority, ties
+// broken by earlier submission, then ID — a total and deterministic order.
+// Negative means a schedules ahead of b.
+func (s *Scheduler) compare(a, b *Job) int {
+	pa, pb := s.effPriority(a), s.effPriority(b)
+	switch {
+	case pa > pb:
+		return -1
+	case pa < pb:
+		return 1
+	}
+	switch {
+	case a.submitNs < b.submitNs:
+		return -1
+	case a.submitNs > b.submitNs:
+		return 1
+	}
+	return strings.Compare(a.ID, b.ID)
+}
+
+// before reports whether a schedules ahead of b (compare < 0). The aging-off
+// body is spelled out so the common case inlines into the heap operations.
+func (s *Scheduler) before(a, b *Job) bool {
+	if s.cfg.AgingRate > 0 {
+		return s.compare(a, b) < 0
+	}
+	if a.prio != b.prio {
+		return a.prio > b.prio
+	}
+	if a.submitNs != b.submitNs {
+		return a.submitNs < b.submitNs
+	}
+	return a.ID < b.ID
 }
 
 // insertRunning places j into the running list, keeping it sorted in
@@ -204,11 +333,14 @@ func (s *Scheduler) effPriority(j *Job) float64 {
 // produce.
 func (s *Scheduler) insertRunning(j *Job) {
 	i := sort.Search(len(s.running), func(k int) bool {
-		return s.queue.before(j, s.running[k])
+		return s.before(j, s.running[k])
 	})
 	s.running = append(s.running, nil)
 	copy(s.running[i+1:], s.running[i:])
 	s.running[i] = j
+	jmin, _ := s.bounds(j)
+	s.runMinSum += jmin
+	s.dirty()
 }
 
 // gapOK reports whether the job is outside its rescale gap (the pseudocode's
@@ -218,10 +350,10 @@ func (s *Scheduler) gapOK(j *Job) bool {
 	if j.LastAction.IsZero() {
 		return true
 	}
-	if s.cfg.RescaleGap == time.Duration(math.MaxInt64) {
+	if s.gapNs == math.MaxInt64 {
 		return false // moldable: never rescale after creation
 	}
-	return s.now().Sub(j.LastAction) >= s.cfg.RescaleGap
+	return s.tnowNs-j.lastActionNs >= s.gapNs
 }
 
 // costBenefitOK reports whether the cost/benefit gate allows rescaling j.
@@ -264,10 +396,10 @@ func (s *Scheduler) start(j *Job, replicas int) bool {
 	}
 	j.State = StateRunning
 	j.Replicas = replicas
-	now := s.now()
-	j.LastAction = now
+	j.LastAction = s.tnow
+	j.lastActionNs = s.tnowNs
 	if j.StartTime.IsZero() {
-		j.StartTime = now
+		j.StartTime = s.tnow
 	}
 	s.free -= replicas + s.cfg.JobOverheadSlots
 	s.insertRunning(j)
@@ -285,8 +417,10 @@ func (s *Scheduler) shrink(j *Job, to int) bool {
 	}
 	s.free += j.Replicas - to
 	j.Replicas = to
-	j.LastAction = s.now()
+	j.LastAction = s.tnow
+	j.lastActionNs = s.tnowNs
 	j.Rescales++
+	s.dirty()
 	s.record(DecisionShrink, j)
 	return true
 }
@@ -301,8 +435,10 @@ func (s *Scheduler) expand(j *Job, to int) bool {
 	}
 	s.free -= to - j.Replicas
 	j.Replicas = to
-	j.LastAction = s.now()
+	j.LastAction = s.tnow
+	j.lastActionNs = s.tnowNs
 	j.Rescales++
+	s.dirty()
 	s.record(DecisionExpand, j)
 	return true
 }
@@ -314,6 +450,7 @@ func (s *Scheduler) enqueue(j *Job) {
 	if need := s.jobNeed(j); need < s.minNeed {
 		s.minNeed = need
 	}
+	s.dirty()
 	s.record(DecisionEnqueue, j)
 }
 
@@ -322,6 +459,9 @@ func (s *Scheduler) removeRunning(j *Job) {
 	for i, r := range s.running {
 		if r == j {
 			s.running = append(s.running[:i], s.running[i+1:]...)
+			jmin, _ := s.bounds(j)
+			s.runMinSum -= jmin
+			s.dirty()
 			return
 		}
 	}
@@ -335,9 +475,12 @@ func (s *Scheduler) Submit(j *Job) error {
 	if err := j.Validate(); err != nil {
 		return err
 	}
+	s.refresh()
 	if j.SubmitTime.IsZero() {
-		j.SubmitTime = s.now()
+		j.SubmitTime = s.tnow
 	}
+	j.prio = float64(j.Priority)
+	j.submitNs = j.SubmitTime.UnixNano()
 	s.submit(j)
 	return nil
 }
@@ -448,7 +591,8 @@ func (s *Scheduler) tryPreempt(job *Job, minR, overhead int) bool {
 		s.free += j.Replicas + s.cfg.JobOverheadSlots
 		j.Replicas = 0
 		j.State = StatePreempted
-		j.LastAction = s.now()
+		j.LastAction = s.tnow
+		j.lastActionNs = s.tnowNs
 		s.removeRunning(j)
 		s.queue.push(j)
 		if need := s.jobNeed(j); need < s.minNeed {
@@ -466,8 +610,9 @@ func (s *Scheduler) OnJobComplete(j *Job) {
 	if j.State != StateRunning {
 		return
 	}
+	s.refresh()
 	j.State = StateCompleted
-	j.EndTime = s.now()
+	j.EndTime = s.tnow
 	s.removeRunning(j)
 
 	// freeWorkers(job): slots released by the finished job.
@@ -481,7 +626,10 @@ func (s *Scheduler) OnJobComplete(j *Job) {
 // Kick re-runs the redistribution pass (Figure 3's loop) without a
 // completion event — used by the aging extension, where queue priorities
 // change over time, and by operators after failed actuations.
-func (s *Scheduler) Kick() { s.redistribute() }
+func (s *Scheduler) Kick() {
+	s.refresh()
+	s.redistribute()
+}
 
 // Reschedule re-evaluates the whole cluster: every queued job is re-placed
 // through the Figure 2 submission logic (so a high-priority job that was
@@ -493,61 +641,73 @@ func (s *Scheduler) Kick() { s.redistribute() }
 // Once no remaining waiting job could start even if every running job were
 // shrunk to its minimum (or preempted outright), the rest of the backlog is
 // re-queued wholesale instead of being re-submitted one by one — a deep
-// backlog costs one sort, not len(queue) placement passes. With EnableLog
-// the shortcut is disabled so every re-placement attempt stays in the audit
-// trail.
+// backlog costs one sort, not len(queue) placement passes. When even the
+// smallest waiting requirement (minNeed) exceeds that bound the drain is
+// skipped outright, so a saturated cluster pays O(1) per kick rather than a
+// backlog sort. With EnableLog both shortcuts are disabled so every
+// re-placement attempt stays in the audit trail.
 func (s *Scheduler) Reschedule() {
+	s.refresh()
 	if s.queue.Len() > 0 {
-		drained := s.queue.drainSorted()
-		s.minNeed = maxSlotNeed
-		if s.cfg.EnableLog {
-			for _, j := range drained {
-				s.submit(j)
-			}
-		} else {
-			// needs[i] = smallest slot requirement among drained[i:].
-			needs := s.needScratch[:0]
-			for range drained {
-				needs = append(needs, 0)
-			}
-			s.needScratch = needs
-			for i := len(drained) - 1; i >= 0; i-- {
-				n := s.jobNeed(drained[i])
-				if i+1 < len(drained) && needs[i+1] < n {
-					n = needs[i+1]
-				}
-				needs[i] = n
-			}
-			for i, j := range drained {
-				if s.free+s.maxFreeable() < needs[i] {
-					if needs[i] < s.minNeed {
-						s.minNeed = needs[i]
-					}
-					s.queue.bulkAdd(drained[i:])
-					break
-				}
-				s.submit(j)
-			}
+		skipDrain := !s.cfg.EnableLog && !s.cfg.FullRedistribute &&
+			s.free+s.maxFreeable() < s.minNeed
+		if !skipDrain {
+			s.rescheduleQueue()
 		}
-		s.queue.recycleDrained(drained)
 	}
 	s.redistribute()
 }
 
-// maxFreeable is an upper bound on the worker slots a submission could free
-// from the running set: every job shrunk to its policy minimum, or — with
-// preemption enabled — stopped outright.
-func (s *Scheduler) maxFreeable() int {
-	total := 0
-	for _, j := range s.running {
-		if s.cfg.EnablePreemption {
-			total += j.Replicas + s.cfg.JobOverheadSlots
-		} else {
-			jmin, _ := s.bounds(j)
-			total += j.Replicas - jmin
+// rescheduleQueue drains the wait queue in priority order and re-places each
+// job through the Figure 2 submission logic, bulk-requeueing the backlog
+// tail once no remaining job could possibly start.
+func (s *Scheduler) rescheduleQueue() {
+	drained := s.queue.drainSorted()
+	s.minNeed = maxSlotNeed
+	if s.cfg.EnableLog {
+		for _, j := range drained {
+			s.submit(j)
+		}
+	} else {
+		// needs[i] = smallest slot requirement among drained[i:].
+		needs := s.needScratch[:0]
+		for range drained {
+			needs = append(needs, 0)
+		}
+		s.needScratch = needs
+		for i := len(drained) - 1; i >= 0; i-- {
+			n := s.jobNeed(drained[i])
+			if i+1 < len(drained) && needs[i+1] < n {
+				n = needs[i+1]
+			}
+			needs[i] = n
+		}
+		for i, j := range drained {
+			if s.free+s.maxFreeable() < needs[i] {
+				if needs[i] < s.minNeed {
+					s.minNeed = needs[i]
+				}
+				s.queue.bulkAdd(drained[i:])
+				break
+			}
+			s.submit(j)
 		}
 	}
-	return total
+	s.queue.recycleDrained(drained)
+}
+
+// maxFreeable is an upper bound on the worker slots a submission could free
+// from the running set: every job shrunk to its policy minimum, or — with
+// preemption enabled — stopped outright. Both forms follow in O(1) from the
+// capacity invariant (free + Σ Replicas + overhead×NumRunning = Capacity)
+// and the incrementally maintained runMinSum.
+func (s *Scheduler) maxFreeable() int {
+	if s.cfg.EnablePreemption {
+		// Σ (Replicas + overhead) = Capacity − free.
+		return s.cfg.Capacity - s.free
+	}
+	// Σ (Replicas − jmin) = Capacity − free − overhead×n − Σ jmin.
+	return s.cfg.Capacity - s.free - s.cfg.JobOverheadSlots*len(s.running) - s.runMinSum
 }
 
 // NextGapExpiry returns the earliest future instant at which a rescale that
@@ -559,7 +719,7 @@ func (s *Scheduler) NextGapExpiry() (at time.Time, ok bool) {
 	if s.cfg.RescaleGap == time.Duration(math.MaxInt64) {
 		return time.Time{}, false // moldable: gaps never expire
 	}
-	now := s.now()
+	s.refresh()
 	for _, j := range s.running {
 		minR, maxR := s.bounds(j)
 		expandable := s.free > 0 && j.Replicas < maxR
@@ -571,7 +731,7 @@ func (s *Scheduler) NextGapExpiry() (at time.Time, ok bool) {
 			continue // not gap-blocked; a plain Kick already had its chance
 		}
 		exp := j.LastAction.Add(s.cfg.RescaleGap)
-		if exp.After(now) && (!ok || exp.Before(at)) {
+		if exp.After(s.tnow) && (!ok || exp.Before(at)) {
 			at, ok = exp, true
 		}
 	}
@@ -583,7 +743,29 @@ func (s *Scheduler) NextGapExpiry() (at time.Time, ok bool) {
 // The running snapshot and the queue heap are merged lazily, and a backlog
 // whose smallest slot requirement exceeds the free capacity is skipped
 // without being scanned at all.
+//
+// Two early-outs make the pass incremental (FullRedistribute disables
+// both; both are decision-transparent, see the equivalence tests):
+//
+//   - free ≤ 0: the Figure 3 loop cannot expand or start anything, so only
+//     the queue-empty minNeed reset survives.
+//   - clean: the previous pass ran to completion, nothing mutated since,
+//     and no rescale gap that blocked an expansion has expired yet
+//     (cleanUntil) — re-running it would replay the identical no-op scan.
 func (s *Scheduler) redistribute() {
+	if !s.cfg.FullRedistribute {
+		if s.free <= 0 {
+			if s.queue.Len() == 0 {
+				s.minNeed = maxSlotNeed
+			}
+			s.clean = true
+			s.cleanUntilNs = 0
+			return
+		}
+		if s.clean && (s.cleanUntilNs == 0 || s.tnowNs < s.cleanUntilNs) {
+			return
+		}
+	}
 	if s.cfg.AgingRate > 0 && (s.cfg.EnablePreemption || s.capStats.Requeues > 0) {
 		// Preempted jobs do not age while queued jobs do, so a mixed
 		// backlog's relative order can drift; restore the heap invariant.
@@ -601,28 +783,41 @@ func (s *Scheduler) redistribute() {
 		(s.cfg.StrictFCFS || s.free >= s.minNeed)
 	popped := s.popScratch[:0]
 	poppedMin := maxSlotNeed
+	// Track what could invalidate a clean skip of the next pass: the
+	// earliest gap expiry among blocked expansions (Unix ns, 0 = none),
+	// and whether any actuation failed (an external actuator might accept
+	// a retry).
+	var blockedExpiryNs int64
+	attemptFailed := false
 	ri := 0
 	for s.free > 0 {
 		takeQueue := false
 		if popQueue && s.queue.Len() > 0 {
-			takeQueue = ri >= len(run) || s.queue.before(s.queue.peek(), run[ri])
+			takeQueue = ri >= len(run) || s.before(s.queue.peek(), run[ri])
 		} else if ri >= len(run) {
 			break
 		}
 		if !takeQueue {
 			j := run[ri]
 			ri++
+			jmin, jmax := s.bounds(j)
 			if !s.gapOK(j) {
+				if j.Replicas < jmax && s.gapNs != math.MaxInt64 {
+					if exp := j.lastActionNs + s.gapNs; blockedExpiryNs == 0 || exp < blockedExpiryNs {
+						blockedExpiryNs = exp
+					}
+				}
 				continue
 			}
-			jmin, jmax := s.bounds(j)
 			if j.Replicas < jmax {
 				add := jmax - j.Replicas
 				if add > s.free {
 					add = s.free
 				}
 				if j.Replicas+add >= jmin && add > 0 {
-					s.expand(j, j.Replicas+add)
+					if !s.expand(j, j.Replicas+add) {
+						attemptFailed = true
+					}
 				}
 			}
 			continue
@@ -645,6 +840,7 @@ func (s *Scheduler) redistribute() {
 			replicas = jmax
 		}
 		if !s.start(j, replicas) {
+			attemptFailed = true
 			popped = append(popped, j)
 			if need := jmin + overhead; need < poppedMin {
 				poppedMin = need
@@ -665,4 +861,14 @@ func (s *Scheduler) redistribute() {
 	clear(popped)
 	clear(run)
 	s.runScratch = run[:0]
+	// The pass is now a fixed point of the current state: mark it clean so
+	// identical follow-up passes can skip. Aging drifts queue priorities
+	// with time and a cost/benefit gate consults time-varying progress, so
+	// neither configuration can be skipped safely; a failed actuation may
+	// succeed on retry (external actuators), so those passes stay dirty
+	// too.
+	if !attemptFailed && s.cfg.AgingRate == 0 && s.cfg.CostBenefit == nil {
+		s.clean = true
+		s.cleanUntilNs = blockedExpiryNs
+	}
 }

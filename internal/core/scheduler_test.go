@@ -413,12 +413,18 @@ func TestJobOverheadSlotsMatchesPseudocode(t *testing.T) {
 }
 
 func TestPriorityOrderingTieBreak(t *testing.T) {
-	clk := newTestClock()
-	early := &Job{ID: "early", Priority: 3, SubmitTime: clk.t}
-	late := &Job{ID: "late", Priority: 3, SubmitTime: clk.t.Add(time.Minute)}
-	big := &Job{ID: "big", Priority: 5, SubmitTime: clk.t.Add(time.Hour)}
+	s, _, clk := newSched(t, Config{Policy: Elastic, Capacity: 8})
+	// Stamp the cached comparison keys the way Submit does: sortJobs
+	// orders on prio/submitNs, not on the raw exported fields.
+	mk := func(id string, prio int, at time.Time) *Job {
+		return &Job{ID: id, Priority: prio, SubmitTime: at,
+			prio: float64(prio), submitNs: at.UnixNano()}
+	}
+	early := mk("early", 3, clk.t)
+	late := mk("late", 3, clk.t.Add(time.Minute))
+	big := mk("z-big", 5, clk.t.Add(time.Hour))
 	jobs := []*Job{late, big, early}
-	sortByPriority(jobs, func(j *Job) float64 { return float64(j.Priority) })
+	s.sortJobs(jobs)
 	if jobs[0] != big || jobs[1] != early || jobs[2] != late {
 		t.Errorf("order = %s %s %s", jobs[0].ID, jobs[1].ID, jobs[2].ID)
 	}

@@ -18,7 +18,12 @@ type Manager struct {
 	ctrl  *Controller
 	sched *core.Scheduler
 
-	jobs   map[string]*managedJob
+	jobs map[string]*managedJob
+	// byRef interns job identities the same way the simulator does: the
+	// scheduler's core.Job carries Ref = its index here, so actuator
+	// callbacks resolve the managed record with an index load instead of
+	// a map lookup per scheduling action.
+	byRef  []*managedJob
 	kickAt time.Time
 	armed  bool
 	// forced marks jobs whose latest shrink was ordered by a capacity
@@ -76,15 +81,19 @@ func (m *Manager) Submit(job *CharmJob) error {
 	}
 	cj := &core.Job{
 		ID:          job.Name,
+		Ref:         int32(len(m.byRef)),
 		Priority:    job.Spec.Priority,
 		MinReplicas: job.Spec.MinReplicas,
 		MaxReplicas: job.Spec.MaxReplicas,
 		SubmitTime:  m.loop.Now(),
 	}
-	m.jobs[job.Name] = &managedJob{core: cj, template: job.DeepCopy().(*CharmJob)}
+	mj := &managedJob{core: cj, template: job.DeepCopy().(*CharmJob)}
+	m.jobs[job.Name] = mj
+	m.byRef = append(m.byRef, mj)
 	m.Submitted++
 	if err := m.sched.Submit(cj); err != nil {
 		delete(m.jobs, job.Name)
+		m.byRef = m.byRef[:len(m.byRef)-1]
 		return err
 	}
 	m.armKick()
@@ -151,10 +160,13 @@ func (a *managerActuator) mgr() *Manager { return (*Manager)(a) }
 // restart/preemption counters forward.
 func (a *managerActuator) StartJob(j *core.Job, replicas int) error {
 	m := a.mgr()
-	mj, ok := m.jobs[j.ID]
-	if !ok {
+	// The identity check (not just bounds) rejects jobs that never went
+	// through Manager.Submit — their zero Ref would otherwise silently
+	// resolve to the first managed job.
+	if j.Ref < 0 || int(j.Ref) >= len(m.byRef) || m.byRef[j.Ref].core != j {
 		return fmt.Errorf("operator: unknown job %q", j.ID)
 	}
+	mj := m.byRef[j.Ref]
 	obj := mj.template.DeepCopy().(*CharmJob)
 	obj.Spec.Replicas = replicas
 	obj.Status = CharmJobStatus{Phase: JobPending}

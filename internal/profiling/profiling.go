@@ -1,0 +1,46 @@
+// Package profiling is the experiment CLIs' shared pprof harness: one call
+// starts a CPU profile and returns the cleanup that stops it and writes a
+// post-GC heap profile, so every harness binary profiles the real hot path
+// with identical semantics (see docs/ARCHITECTURE.md §Profiling).
+package profiling
+
+import (
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile at cpuPath and returns the cleanup function
+// that stops it and writes the heap profile to memPath. Either path may be
+// empty to skip that profile. Errors are fatal — a profiling run that
+// cannot record is not worth continuing. (log.Fatal exits elsewhere skip
+// the cleanup; a truncated profile from a failed run is not worth
+// indirecting every error path.)
+func Start(cpuPath, memPath string) func() {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return func() {
+		if cpuPath != "" {
+			pprof.StopCPUProfile()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle retained heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

@@ -14,7 +14,11 @@
 // pre-pushed into the event heap, and in streaming mode (Config.Streaming)
 // per-job state is recycled at completion so a multi-million-job workload
 // needs only O(running jobs) memory. Availability events stream from their
-// own cursor over Config.Availability the same way.
+// own cursor over Config.Availability the same way. Job identities are
+// interned to int32 slab indices (core.Job.Ref), equal-timestamp event
+// batches share one scheduler kick re-arm, and the decision log is opt-in
+// (Config.LogDecisions), so the default streaming path allocates nothing
+// per job.
 //
 // # Determinism
 //

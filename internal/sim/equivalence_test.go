@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"elastichpc/internal/core"
+	"elastichpc/internal/workload"
+)
+
+// equivalenceScenarios are the workload shapes the incremental-scheduler
+// equivalence sweep covers: steady arrivals, deep same-instant backlogs
+// (the regime the early-outs target), and a time-varying cluster.
+func equivalenceScenarios(t *testing.T, seed int64) map[string]struct {
+	w  Workload
+	tr workload.AvailabilityTrace
+} {
+	t.Helper()
+	uniform, err := workload.Uniform{Jobs: 60, Gap: 45}.Generate(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := workload.Burst{Waves: 3, PerWave: 40, WaveGap: 4000}.Generate(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avail, err := workload.Burst{Waves: 3, PerWave: 30, WaveGap: 5000}.Generate(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := avail.Span() + 3600
+	tr, err := workload.MaintenanceDrain{Every: span / 6, Duration: span / 12, Keep: 40}.Events(seed, 64, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restore full capacity at the horizon so the rigid baselines stay
+	// feasible: a trace that ends mid-drain strands any job whose pinned
+	// replica count exceeds the drained capacity.
+	tr = tr.WithRestore(64, span)
+	return map[string]struct {
+		w  Workload
+		tr workload.AvailabilityTrace
+	}{
+		"uniform":      {w: uniform},
+		"burst":        {w: burst},
+		"availability": {w: avail, tr: tr},
+	}
+}
+
+// TestIncrementalSchedulerEquivalence is the seed-sweep equivalence proof
+// the incremental scheduling core is held to: for every policy × workload
+// shape × seed, a run with the incremental early-outs produces the same
+// decision sequence (Config.LogDecisions) and bit-identical Result — every
+// aggregate, per-job metric, and timeline — as the reference
+// full-redistribute scheduler (Config.FullRedistribute).
+func TestIncrementalSchedulerEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		for name, sc := range equivalenceScenarios(t, seed) {
+			for _, p := range core.AllPolicies() {
+				t.Run(fmt.Sprintf("%s/%s/seed%d", name, p, seed), func(t *testing.T) {
+					run := func(full, logDecisions bool) (Result, []core.Decision) {
+						cfg := DefaultConfig(p)
+						cfg.Availability = sc.tr
+						cfg.FullRedistribute = full
+						cfg.LogDecisions = logDecisions
+						s, err := New(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						res, err := s.Run(sc.w)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return res, s.Decisions()
+					}
+
+					// Decision-sequence equivalence, audit logging on.
+					// (EnableLog disables the Reschedule drain shortcut in
+					// both modes, so this isolates the redistribute
+					// early-outs.)
+					_, incDec := run(false, true)
+					_, refDec := run(true, true)
+					if !reflect.DeepEqual(incDec, refDec) {
+						t.Fatalf("decision sequences diverge: incremental %d entries, reference %d",
+							len(incDec), len(refDec))
+					}
+
+					// Full-result equivalence on the default (non-logging)
+					// path, which exercises every shortcut: per-job
+					// metrics, timelines, and aggregates must match
+					// bit-for-bit.
+					incRes, _ := run(false, false)
+					refRes, _ := run(true, false)
+					if !reflect.DeepEqual(incRes, refRes) {
+						t.Fatalf("results diverge:\nincremental: %+v\nreference:   %+v", incRes, refRes)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestIncrementalSchedulerEquivalenceExtensions repeats the equivalence
+// check with the §3.2.2 extensions on — aging drifts queue priorities with
+// time and preemption requeues running jobs, the two configurations where
+// the incremental scheduler must decline to cache (clean passes are never
+// recorded with aging or a cost/benefit gate, and kick coalescing turns
+// itself off).
+func TestIncrementalSchedulerEquivalenceExtensions(t *testing.T) {
+	w, err := workload.Burst{Waves: 2, PerWave: 30, WaveGap: 3000}.Generate(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []core.Policy{core.Elastic, core.RigidMin} {
+		t.Run(p.String(), func(t *testing.T) {
+			run := func(full bool) Result {
+				cfg := DefaultConfig(p)
+				cfg.AgingRate = 0.01
+				cfg.EnablePreemption = true
+				cfg.FullRedistribute = full
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Run(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			inc, ref := run(false), run(true)
+			if !reflect.DeepEqual(inc, ref) {
+				t.Fatalf("results diverge with aging+preemption:\nincremental: %+v\nreference:   %+v", inc, ref)
+			}
+		})
+	}
+}

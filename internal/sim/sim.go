@@ -116,6 +116,17 @@ type Config struct {
 	// before completions and kicks; ties within each class keep trace,
 	// workload, and push order respectively. Empty means fixed capacity.
 	Availability workload.AvailabilityTrace
+	// LogDecisions records every scheduling decision for retrieval via
+	// Simulator.Decisions — the audit trail for debugging a run. Default
+	// off: the streaming hot path then allocates nothing per decision,
+	// and with it on the entries land in core's bounded ring buffer
+	// (oldest overwritten past 100k).
+	LogDecisions bool
+	// FullRedistribute disables the scheduler's incremental early-outs
+	// (see core.Config.FullRedistribute) — the reference mode the
+	// equivalence tests run against. Decisions and results are identical
+	// either way; this is strictly slower.
+	FullRedistribute bool
 	// Extensions (all default off, matching the paper's §3.2.1 policy).
 	JobOverheadSlots int
 	AgingRate        float64
@@ -211,6 +222,8 @@ type simJob struct {
 	lastUpdate  float64 // sim time of the last progress update
 	frozenUntil float64 // rescale overhead window: no progress before this
 	seq         int64   // increments on every reschedule (and slot recycle)
+	ref         int32   // slab-slot index: byRef[ref] == this, and job.Ref carries it
+	widx        int32   // index of this job's spec in the workload
 	started     bool
 	forcedOut   bool // preempted by a capacity reclaim; next start is a forced restart
 	timeline    []ReplicaSample
@@ -228,7 +241,13 @@ type Simulator struct {
 	events eventHeap
 	ord    int64
 	now    float64
-	jobs   map[string]*simJob
+	// byRef is the slab-slot directory: byRef[ref] is the simJob whose
+	// core.Job carries Ref == ref. Job identities are interned to these
+	// int32 indices at submission, so actuator callbacks resolve driver
+	// state with an index load instead of the string-keyed map lookup the
+	// simulator used to pay per scheduling action. In streaming mode
+	// slots are recycled, so the directory stays O(concurrent jobs).
+	byRef []*simJob
 
 	// Pools: recycled events, the simJob slab, and (in streaming mode)
 	// completed-job records ready for reuse.
@@ -269,7 +288,7 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.Capacity < 1 {
 		return nil, fmt.Errorf("sim: capacity %d", cfg.Capacity)
 	}
-	s := &Simulator{cfg: cfg, jobs: make(map[string]*simJob), kickAt: -1}
+	s := &Simulator{cfg: cfg, kickAt: -1}
 	if cb := cfg.CostBenefit; cb != nil && cb.Progress == nil {
 		// Wire the gate to the simulator's own progress model so users
 		// only need to set thresholds.
@@ -286,6 +305,8 @@ func New(cfg Config) (*Simulator, error) {
 		EnablePreemption: cfg.EnablePreemption,
 		StrictFCFS:       cfg.StrictFCFS,
 		CostBenefit:      cfg.CostBenefit,
+		EnableLog:        cfg.LogDecisions,
+		FullRedistribute: cfg.FullRedistribute,
 	}, (*simActuator)(s), func() time.Time {
 		return epoch.Add(model.Duration(s.now))
 	})
@@ -296,7 +317,8 @@ func New(cfg Config) (*Simulator, error) {
 	return s, nil
 }
 
-// allocJob hands out a pooled simJob with its recycle-safe seq preserved.
+// allocJob hands out a pooled simJob with its recycle-safe seq and slab-slot
+// ref preserved. A fresh slot registers itself in the byRef directory.
 func (s *Simulator) allocJob() *simJob {
 	if n := len(s.freeJobs); n > 0 {
 		sj := s.freeJobs[n-1]
@@ -309,18 +331,22 @@ func (s *Simulator) allocJob() *simJob {
 	}
 	sj := &s.slab[s.slabUsed]
 	s.slabUsed++
+	sj.ref = int32(len(s.byRef))
+	s.byRef = append(s.byRef, sj)
 	return sj
 }
 
-// newSimJob builds the simulation record for one submission.
-func (s *Simulator) newSimJob(js *JobSpec, spec model.Spec) *simJob {
+// newSimJob builds the simulation record for one submission. widx is the
+// job's index in the workload (for retained-mode collection).
+func (s *Simulator) newSimJob(js *JobSpec, spec model.Spec, widx int32) *simJob {
 	sj := s.allocJob()
 	// Bumping seq past the previous lifecycle invalidates any stale
 	// completion event still in the heap for a recycled slot.
 	seq := sj.seq + 1
-	*sj = simJob{spec: spec, seq: seq}
+	*sj = simJob{spec: spec, seq: seq, ref: sj.ref, widx: widx}
 	sj.job = core.Job{
 		ID:          js.ID,
+		Ref:         sj.ref,
 		Priority:    js.Priority,
 		MinReplicas: spec.MinReplicas,
 		MaxReplicas: spec.MaxReplicas,
@@ -330,7 +356,6 @@ func (s *Simulator) newSimJob(js *JobSpec, spec model.Spec) *simJob {
 		sj.job.MaxReplicas = s.cfg.Capacity
 	}
 	sj.meta = JobMetrics{ID: js.ID, Class: js.Class, Priority: js.Priority, SubmitAt: js.SubmitAt}
-	s.jobs[js.ID] = sj
 	return sj
 }
 
@@ -384,6 +409,18 @@ func (s *Simulator) Run(w Workload) (Result, error) {
 	}
 	capi := 0
 
+	// Equal-timestamp events coalesce into one scheduler pass: the kick
+	// re-arm (an O(running) gap scan) runs once per batch instead of per
+	// event. Mid-batch state can only matter to a kick when priorities
+	// drift with time (aging), preemption can fire without a gap check, or
+	// a cost/benefit gate consults time-varying progress — in those
+	// configurations every event re-arms individually, preserving the
+	// historical sequence exactly. The audit log also sees mid-batch kicks
+	// (a no-op Reschedule still logs its re-enqueue wave), so LogDecisions
+	// keeps per-event arming too.
+	deferKicks := s.cfg.AgingRate == 0 && !s.cfg.EnablePreemption &&
+		s.cfg.CostBenefit == nil && !s.cfg.LogDecisions
+
 	cursor := 0
 	processed := 0
 	limit := 5_000_000 + 64*n + 16*len(avail)
@@ -395,12 +432,17 @@ func (s *Simulator) Run(w Workload) (Result, error) {
 			at := avail[capi].At
 			if (cursor >= n || at <= w.Jobs[order[cursor]].SubmitAt) &&
 				(len(s.events) == 0 || at <= s.events.top().at) {
-				ev := avail[capi]
-				capi++
-				processed++
-				s.advanceTo(ev.At)
-				if err := s.applyCapacity(ev.Capacity); err != nil {
-					return Result{}, err
+				s.advanceTo(at)
+				for {
+					ev := avail[capi]
+					capi++
+					processed++
+					if err := s.applyCapacity(ev.Capacity); err != nil {
+						return Result{}, err
+					}
+					if !deferKicks || capi >= len(avail) || avail[capi].At != at {
+						break
+					}
 				}
 				s.scheduleKick()
 				continue
@@ -409,13 +451,19 @@ func (s *Simulator) Run(w Workload) (Result, error) {
 		if cursor < n {
 			at := w.Jobs[order[cursor]].SubmitAt
 			if len(s.events) == 0 || at <= s.events.top().at {
-				js := &w.Jobs[order[cursor]]
-				cursor++
-				processed++
 				s.advanceTo(at)
-				sj := s.newSimJob(js, specs[js.Class])
-				if err := s.sched.Submit(&sj.job); err != nil {
-					return Result{}, err
+				for {
+					widx := order[cursor]
+					js := &w.Jobs[widx]
+					cursor++
+					processed++
+					sj := s.newSimJob(js, specs[js.Class], widx)
+					if err := s.sched.Submit(&sj.job); err != nil {
+						return Result{}, err
+					}
+					if !deferKicks || cursor >= n || w.Jobs[order[cursor]].SubmitAt != at {
+						break
+					}
 				}
 				s.scheduleKick()
 				continue
@@ -486,10 +534,13 @@ func (s *Simulator) finish(sj *simJob) {
 	s.wComp += wgt * m.CompletionTime
 	s.completed++
 	if s.cfg.Streaming {
-		delete(s.jobs, m.ID)
 		s.freeJobs = append(s.freeJobs, sj)
 	}
 }
+
+// Decisions returns the scheduler's decision log, oldest first. Empty unless
+// Config.LogDecisions is set.
+func (s *Simulator) Decisions() []core.Decision { return s.sched.Log() }
 
 // scheduleKick arms a kick event at the next rescale-gap expiry that could
 // unblock a scheduling action, modelling the operator's requeue-driven
@@ -563,8 +614,11 @@ func (s *Simulator) advanceTo(t float64) {
 // time without mutating its state — the default Progress source for the
 // cost/benefit gate.
 func (s *Simulator) progressFraction(j *core.Job) float64 {
-	sj, ok := s.jobs[j.ID]
-	if !ok || sj.spec.Steps == 0 {
+	if int(j.Ref) >= len(s.byRef) {
+		return 0
+	}
+	sj := s.byRef[j.Ref]
+	if sj.spec.Steps == 0 {
 		return 0
 	}
 	done := sj.itersDone
@@ -633,7 +687,7 @@ func (a *simActuator) sim() *Simulator { return (*Simulator)(a) }
 
 func (a *simActuator) StartJob(j *core.Job, replicas int) error {
 	s := a.sim()
-	sj := s.jobs[j.ID]
+	sj := s.byRef[j.Ref]
 	if !sj.started {
 		sj.started = true
 		sj.meta.StartAt = s.now
@@ -669,7 +723,7 @@ func (a *simActuator) ExpandJob(j *core.Job, to int) error {
 
 func (a *simActuator) rescale(j *core.Job, to int) error {
 	s := a.sim()
-	sj := s.jobs[j.ID]
+	sj := s.byRef[j.Ref]
 	s.progress(sj) // credit progress at the old replica count first
 	ph := s.cfg.Machine.RescaleOverhead(sj.spec.Grid, j.Replicas, to)
 	delta := to - j.Replicas
@@ -688,7 +742,7 @@ func (a *simActuator) rescale(j *core.Job, to int) error {
 
 func (a *simActuator) PreemptJob(j *core.Job) error {
 	s := a.sim()
-	sj := s.jobs[j.ID]
+	sj := s.byRef[j.Ref]
 	s.progress(sj)
 	// Checkpoint-to-store cost is charged when the job resumes; stopping
 	// invalidates the completion event.
@@ -704,9 +758,9 @@ func (a *simActuator) PreemptJob(j *core.Job) error {
 func (s *Simulator) collect(w Workload) (Result, error) {
 	res := Result{Policy: s.cfg.Policy}
 	if s.completed != len(w.Jobs) {
-		for _, js := range w.Jobs {
-			if sj, ok := s.jobs[js.ID]; ok && sj.job.State != core.StateCompleted {
-				return res, fmt.Errorf("sim: job %s ended in state %v", js.ID, sj.job.State)
+		for _, sj := range s.byRef {
+			if sj.job.State != core.StateCompleted {
+				return res, fmt.Errorf("sim: job %s ended in state %v", sj.job.ID, sj.job.State)
 			}
 		}
 		return res, fmt.Errorf("sim: %d of %d jobs completed", s.completed, len(w.Jobs))
@@ -738,13 +792,14 @@ func (s *Simulator) collect(w Workload) (Result, error) {
 		res.GoodputFrac = 1 - s.overheadArea/s.utilArea
 	}
 	if !s.cfg.Streaming {
+		// Retained mode never recycles slots, so byRef holds every job;
+		// widx places each record back in workload order.
 		res.UtilTimeline = s.utilTL
-		res.Jobs = make([]JobMetrics, 0, len(w.Jobs))
+		res.Jobs = make([]JobMetrics, len(w.Jobs))
 		res.ReplicaTimelines = make(map[string][]ReplicaSample, len(w.Jobs))
-		for _, js := range w.Jobs {
-			sj := s.jobs[js.ID]
-			res.Jobs = append(res.Jobs, sj.meta)
-			res.ReplicaTimelines[js.ID] = sj.timeline
+		for _, sj := range s.byRef {
+			res.Jobs[sj.widx] = sj.meta
+			res.ReplicaTimelines[sj.meta.ID] = sj.timeline
 		}
 	}
 	return res, nil
