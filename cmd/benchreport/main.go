@@ -18,7 +18,9 @@
 // a geomean summary row aggregates each gated metric across benchmarks.
 // With `go test -count=N` output, `-emit -best` collapses the repeated runs
 // to their per-metric best, filtering one-sided scheduler noise before the
-// gate sees the numbers.
+// gate sees the numbers. Custom metrics beyond the gated one — e.g. the
+// federation benchmark's per-cluster job counts and utilizations — are
+// listed as informational rows and never gate.
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"math"
 	"os"
 	"regexp"
+	"sort"
 	"strings"
 
 	"elastichpc/internal/metrics"
@@ -152,6 +155,19 @@ func bestRuns(benchmarks []metrics.Benchmark) []metrics.Benchmark {
 	return out
 }
 
+// customUnits returns a benchmark's custom metric units other than the
+// gated one, sorted so the listing order is stable.
+func customUnits(b metrics.Benchmark, gatedMetric string) []string {
+	units := make([]string, 0, len(b.Custom))
+	for unit := range b.Custom {
+		if unit != gatedMetric {
+			units = append(units, unit)
+		}
+	}
+	sort.Strings(units)
+	return units
+}
+
 // value extracts the gating metric from a benchmark result.
 func value(b metrics.Benchmark, metric string) (float64, bool) {
 	switch metric {
@@ -241,6 +257,28 @@ func compare(base, cand metrics.Report, metric string, threshold float64, allowM
 				// rather than silently dropping the gate.
 				fmt.Printf("%-46s %10s %14s %14s %8s  skipped (allocs on one side only)\n",
 					b.Name, "allocs/op", "-", "-", "-")
+			}
+		}
+		// Custom sub-metrics beyond the gated one — the federation
+		// benchmark's per-cluster job counts and utilizations, the
+		// simulator's jobs/s when ns/op gates — are listed informationally
+		// and never fail the comparison. Units the candidate stopped
+		// reporting (a benchmark changed what it measures) are called out
+		// rather than silently vanishing.
+		for _, unit := range customUnits(c, metric) {
+			cv := c.Custom[unit]
+			if bv, ok := b.Custom[unit]; ok && bv > 0 && cv > 0 {
+				fmt.Printf("%-46s %10s %14.4g %14.4g %+7.1f%%  info (ungated)\n",
+					b.Name, unit, bv, cv, 100*(cv/bv-1))
+			} else {
+				fmt.Printf("%-46s %10s %14s %14.4g %8s  info (ungated)\n",
+					b.Name, unit, "-", cv, "-")
+			}
+		}
+		for _, unit := range customUnits(b, metric) {
+			if _, ok := c.Custom[unit]; !ok {
+				fmt.Printf("%-46s %10s %14.4g %14s %8s  info (gone from candidate)\n",
+					b.Name, unit, b.Custom[unit], "-", "-")
 			}
 		}
 	}

@@ -9,6 +9,9 @@
 //	elasticsim -sweep rescale              # Figure 8: rescale-gap sweep
 //	elasticsim -sweep scenario             # all scenarios × policies × seeds
 //	elasticsim -sweep availability         # all capacity profiles × policies × seeds
+//	elasticsim -sweep federation           # all routing policies × policies × seeds
+//	elasticsim -clusters 4 -route least_loaded -scenario burst   # one federated run
+//	elasticsim -clusters 4 -skew 0.5       # heterogeneous fleet (capacity ramp)
 //	elasticsim -table1                     # Table 1, Simulation columns
 //	elasticsim -scenario diurnal           # one scenario under all policies
 //	elasticsim -trace wl.csv               # replay a saved trace (JSON or CSV)
@@ -29,6 +32,7 @@ import (
 	"strconv"
 
 	"elastichpc/internal/core"
+	"elastichpc/internal/federation"
 	"elastichpc/internal/metrics"
 	"elastichpc/internal/profiling"
 	"elastichpc/internal/sim"
@@ -37,7 +41,7 @@ import (
 
 func main() {
 	var (
-		sweep    = flag.String("sweep", "", `sweep to run: "gap" (Fig. 7), "rescale" (Fig. 8), or "scenario"`)
+		sweep    = flag.String("sweep", "", `sweep to run: "gap" (Fig. 7), "rescale" (Fig. 8), "scenario", "availability", or "federation"`)
 		table1   = flag.Bool("table1", false, "run the Table 1 simulation")
 		jobs     = flag.Int("jobs", 16, "jobs per workload")
 		seeds    = flag.Int("seeds", 100, "random workloads to average over")
@@ -48,6 +52,10 @@ func main() {
 		saveWL   = flag.String("save-workload", "", "write the selected scenario's workload to this path and exit")
 		jsonPath = flag.String("json", "", "also write the results as a metrics.Report to this path")
 		workldFl = flag.String("workload", "", "deprecated alias of -trace")
+
+		clusters = flag.Int("clusters", 1, "member clusters in a federated run (1 = single cluster)")
+		routeFl  = flag.String("route", "round_robin", "federation routing policy: round_robin | least_loaded | priority | random")
+		skew     = flag.Float64("skew", 0, "federation capacity skew: member i gets base×(1+skew·i) slots")
 
 		availFl   = flag.String("availability", "", "capacity profile: failures | spot | drain | tides | trace")
 		availTr   = flag.String("availability-trace", "", "capacity trace file for -availability trace (implies it)")
@@ -95,6 +103,40 @@ func main() {
 	}
 	if profile != nil {
 		params["availability"] = profile.Name()
+	}
+	route, err := federation.RouteByName(*routeFl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// routeSet/clustersSet distinguish explicit flags from their defaults:
+	// the federation sweep covers all routes unless one was asked for, and
+	// defaults to a 4-member fleet only when -clusters was not given.
+	routeSet, clustersSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		routeSet = routeSet || f.Name == "route"
+		clustersSet = clustersSet || f.Name == "clusters"
+	})
+	// Reject -clusters where it would be silently ignored, mirroring the
+	// -availability incompatibility errors; the federated branches stamp
+	// their clusters/route/skew params themselves, so no report can claim
+	// a federation that never ran.
+	if *clusters < 1 {
+		log.Fatalf("-clusters %d: a federation needs at least 1 member", *clusters)
+	}
+	if *clusters > 1 {
+		if *sweep != "" && *sweep != "federation" {
+			log.Fatalf("-clusters does not apply to -sweep %s (use -sweep federation)", *sweep)
+		}
+		if *table1 {
+			log.Fatal("-clusters does not apply to -table1 (the Table 1 reproduction is single-cluster)")
+		}
+		if *saveWL != "" || *saveAvail != "" {
+			log.Fatal("-clusters does not apply to the -save-* export modes")
+		}
+	} else if (routeSet || *skew != 0) && *sweep != "federation" {
+		// The converse mistake: federation flags on a single-cluster run
+		// would be silently dropped.
+		log.Fatal("-route/-skew need a federation: pass -clusters N or -sweep federation")
 	}
 
 	switch {
@@ -161,6 +203,36 @@ func main() {
 		r.Params = params
 		r.Sweeps = []metrics.Sweep{metrics.FromSweep(xName, xName+" (s)", points)}
 		report = &r
+	case *sweep == "federation":
+		if profile != nil {
+			log.Fatal("-availability does not apply to -sweep federation (set per-member traces through the library)")
+		}
+		gen := pickGenerator(*scenario, *tracePth)
+		n := *clusters
+		if !clustersSet {
+			n = 4 // default fleet; an explicit -clusters (even 1) is honored
+		}
+		// Default: every routing policy; with an explicit -route, just that
+		// one. -skew applies to the swept fleet either way.
+		routes := federation.AllRoutes()
+		if routeSet {
+			routes = []federation.Route{route}
+			params["route"] = route.String()
+		}
+		params["clusters"] = strconv.Itoa(n)
+		params["skew"] = strconv.FormatFloat(*skew, 'g', -1, 64)
+		results, err := federation.Sweep(routes, gen, n, *seeds, 180, *skew, *parallel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printRoutes(results)
+		r := metrics.New("elasticsim", metrics.KindSweep)
+		r.Params = params
+		sw := metrics.FromScenarios(results)
+		sw.Name = "federation"
+		sw.X = "route index"
+		r.Sweeps = []metrics.Sweep{sw}
+		report = &r
 	case *sweep == "scenario":
 		if profile != nil {
 			log.Fatal("-availability does not apply to -sweep scenario (use -sweep availability)")
@@ -191,12 +263,25 @@ func main() {
 		r.Sweeps = []metrics.Sweep{metrics.FromScenarios(results)}
 		report = &r
 	case *sweep != "":
-		log.Fatalf(`unknown sweep %q (have "gap", "rescale", "scenario", "availability")`, *sweep)
+		log.Fatalf(`unknown sweep %q (have "gap", "rescale", "scenario", "availability", "federation")`, *sweep)
 	case *table1:
 		if profile != nil {
 			log.Fatal("-availability does not apply to -table1 (the Table 1 reproduction is fixed-capacity)")
 		}
 		report = runTable1(params)
+	case *clusters > 1:
+		if profile != nil {
+			log.Fatal("-availability does not apply to -clusters (set per-member traces through the library)")
+		}
+		g := pickGenerator(*scenario, *tracePth)
+		w, err := g.Generate(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		params["clusters"] = strconv.Itoa(*clusters)
+		params["route"] = route.String()
+		params["skew"] = strconv.FormatFloat(*skew, 'g', -1, 64)
+		report = runFederation(g.Name(), w, *clusters, route, *skew, *seed, *parallel, params)
 	case *scenario != "" || *tracePth != "" || profile != nil:
 		g := pickGenerator(*scenario, *tracePth)
 		w, err := g.Generate(*seed)
@@ -295,6 +380,47 @@ func printAvailability(results []sim.ScenarioResult) {
 				avg.ForcedShrinks, avg.Requeues, avg.WorkLostSec)
 		}
 	}
+}
+
+func printRoutes(results []sim.ScenarioResult) {
+	fmt.Println("route,policy,utilization,imbalance,total_time_s,weighted_response_s,weighted_completion_s")
+	for _, sr := range results {
+		for _, p := range core.AllPolicies() {
+			avg := sr.ByPolicy[p]
+			fmt.Printf("%s,%s,%.4f,%.4f,%.1f,%.2f,%.2f\n",
+				sr.Name, p, avg.Utilization, avg.Imbalance, avg.TotalTime, avg.WeightedResponse, avg.WeightedCompletion)
+		}
+	}
+}
+
+// runFederation routes one workload across a fleet of member clusters under
+// every scheduling policy and prints the fleet metrics plus the per-cluster
+// job split. workers bounds the member pool like -parallel bounds sweeps.
+func runFederation(name string, w sim.Workload, clusters int, route federation.Route, skew float64, seed int64, workers int, params map[string]string) *metrics.Report {
+	fmt.Printf("Routing %d-job %s workload across %d clusters (%s route, skew %g) under all policies\n",
+		len(w.Jobs), name, clusters, route, skew)
+	fmt.Printf("%-14s %12s %12s %16s %18s %10s %s\n",
+		"Scheduler", "Total (s)", "Utilization", "W. response (s)", "W. completion (s)", "Imbalance", "Jobs/cluster")
+	rep := metrics.New("elasticsim", metrics.KindRun)
+	rep.Params = params
+	for _, p := range core.AllPolicies() {
+		base := sim.DefaultConfig(p)
+		base.RescaleGap = 180
+		r, err := federation.Run(federation.Config{
+			Members:   federation.Skewed(base, clusters, skew),
+			Route:     route,
+			RouteSeed: seed,
+			Workers:   workers,
+		}, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %12.0f %11.2f%% %16.2f %18.2f %9.2f%% %v\n",
+			p, r.TotalTime, 100*r.Utilization, r.WeightedResponse, r.WeightedCompletion,
+			100*r.Imbalance, r.JobsPerMember)
+		rep.Runs = append(rep.Runs, metrics.FromFederation(name, r))
+	}
+	return &rep
 }
 
 func runWorkload(name string, w sim.Workload, avail workload.AvailabilityTrace, params map[string]string) *metrics.Report {

@@ -32,6 +32,12 @@
 //     both backends via core.Scheduler.SetCapacity, with resilience metrics
 //     (goodput, work lost, preemptions survived by shrinking vs. requeued)
 //     and an availability sweep axis;
+//   - a federated multi-cluster meta-scheduler (internal/federation) that
+//     routes one workload stream across N member clusters — round-robin,
+//     least-loaded, priority-aware, or random-seeded — runs the members
+//     concurrently with results bit-identical to sequential execution, and
+//     aggregates exact fleet-wide metrics (utilization over summed delivered
+//     capacity, weighted response/completion, imbalance);
 //   - a versioned, machine-readable experiment-report schema
 //     (internal/metrics) that every harness CLI emits via -json and that
 //     cmd/benchreport diffs against regression thresholds — the format
@@ -49,6 +55,7 @@ import (
 	"elastichpc/internal/charm"
 	"elastichpc/internal/cluster"
 	"elastichpc/internal/core"
+	"elastichpc/internal/federation"
 	"elastichpc/internal/metrics"
 	"elastichpc/internal/model"
 	"elastichpc/internal/shm"
@@ -330,6 +337,68 @@ func AvailabilitySweep(profiles []AvailabilityProfile, gen WorkloadGenerator, se
 // emulation — the cluster-backend twin of SimulateAvailability.
 func EmulateAvailability(cfg ClusterConfig, g WorkloadGenerator, p AvailabilityProfile, seed int64) (SimResult, error) {
 	return cluster.RunAvailability(cfg, g, p, seed)
+}
+
+// Federated multi-cluster scheduling (internal/federation): a meta-scheduler
+// routes one workload across N member clusters — each an independent
+// simulator — and aggregates exact fleet-wide metrics.
+type (
+	// FederationConfig parameterizes a federation run (members, route,
+	// worker pool).
+	FederationConfig = federation.Config
+	// FederationResult is the aggregated fleet outcome plus the per-member
+	// results.
+	FederationResult = federation.Result
+	// FederationRoute selects the job-routing policy across members.
+	FederationRoute = federation.Route
+)
+
+// Federation routing policies.
+const (
+	// RouteRoundRobin deals jobs to members in submission order.
+	RouteRoundRobin = federation.RoundRobin
+	// RouteLeastLoaded routes each job to the member with the lowest queued
+	// min-PE demand per slot.
+	RouteLeastLoaded = federation.LeastLoaded
+	// RoutePriority sends high-priority jobs least-loaded, the rest
+	// round-robin.
+	RoutePriority = federation.PriorityAware
+	// RouteRandom picks members uniformly from a seed.
+	RouteRandom = federation.Random
+)
+
+// AllFederationRoutes lists the routing policies in presentation order.
+func AllFederationRoutes() []FederationRoute { return federation.AllRoutes() }
+
+// FederationRouteByName resolves a route name ("round_robin", "least_loaded",
+// "priority", "random").
+func FederationRouteByName(name string) (FederationRoute, error) {
+	return federation.RouteByName(name)
+}
+
+// UniformFederation builds n identical member configurations from one base.
+func UniformFederation(base SimConfig, n int) []SimConfig {
+	return federation.Uniform(base, n)
+}
+
+// SkewedFederation builds n members whose capacities ramp linearly: member i
+// gets round(base.Capacity × (1 + skew·i)) slots.
+func SkewedFederation(base SimConfig, n int, skew float64) []SimConfig {
+	return federation.Skewed(base, n, skew)
+}
+
+// Federate routes a workload across the member clusters and simulates every
+// member on a bounded worker pool; parallel execution is bit-identical to
+// cfg.Workers == 1.
+func Federate(cfg FederationConfig, w Workload) (FederationResult, error) {
+	return federation.Run(cfg, w)
+}
+
+// FederationSweep averages every given routing policy under every scheduling
+// policy across seeds of a workload scenario on a bounded worker pool — the
+// federation sweep axis. skew ramps member capacities (0 = homogeneous).
+func FederationSweep(routes []FederationRoute, gen WorkloadGenerator, clusters, seeds int, rescaleGapSeconds, skew float64, workers int) ([]ScenarioResult, error) {
+	return federation.Sweep(routes, gen, clusters, seeds, rescaleGapSeconds, skew, workers)
 }
 
 // Experiment reports (internal/metrics): the versioned machine-readable

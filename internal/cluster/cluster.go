@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"elastichpc/internal/core"
@@ -84,6 +85,12 @@ type Cluster struct {
 	preempted    map[string]bool
 	workLost     float64
 	overheadArea float64
+
+	// runErr is the first error raised inside an event-loop callback
+	// (capacity events, submissions, completion plumbing). Callbacks cannot
+	// return errors across the loop boundary and panicking would cross the
+	// library boundary, so the error is captured here and surfaced by Run.
+	runErr error
 }
 
 // New builds a cluster with its control plane.
@@ -150,16 +157,43 @@ func New(cfg Config) (*Cluster, error) {
 	// ahead of a submission's, matching the simulator's documented
 	// capacity-before-submission ordering.
 	for _, ev := range cfg.Availability.Events {
-		ev := ev
-		loop.At(time.Duration(ev.At*float64(time.Second)), func() {
-			if err := c.Mgr.SetCapacity(ev.Capacity); err != nil {
-				panic(fmt.Sprintf("cluster: capacity event at t=%.1f: %v", ev.At, err))
-			}
-			c.capEvents++
-			c.capSteps = append(c.capSteps, sim.UtilSample{At: ev.At, Used: ev.Capacity})
-		})
+		c.scheduleCapacity(ev.At, ev.Capacity)
 	}
 	return c, nil
+}
+
+// fail records the first error raised inside an event-loop callback; Run
+// surfaces it. Later errors are dropped — they are almost always cascade
+// damage from the first one.
+func (c *Cluster) fail(err error) {
+	if c.runErr == nil {
+		c.runErr = err
+	}
+}
+
+// Err returns the first error captured from an event-loop callback, or nil.
+func (c *Cluster) Err() error { return c.runErr }
+
+// SetCapacityAt schedules a cluster-capacity change at the given offset from
+// start — the same path availability-trace events take. Unlike the trace
+// handed to New, the change is not pre-validated; an invalid capacity (or a
+// reclaim the actuator refuses) surfaces as an error from Run.
+func (c *Cluster) SetCapacityAt(at time.Duration, capacity int) {
+	c.scheduleCapacity(at.Seconds(), capacity)
+}
+
+// scheduleCapacity arms one capacity event at atSec seconds from start,
+// keeping the trace's exact float timestamp for the delivered-capacity
+// integral.
+func (c *Cluster) scheduleCapacity(atSec float64, capacity int) {
+	c.Loop.At(time.Duration(atSec*float64(time.Second)), func() {
+		if err := c.Mgr.SetCapacity(capacity); err != nil {
+			c.fail(fmt.Errorf("cluster: capacity event at t=%.1f: %w", atSec, err))
+			return
+		}
+		c.capEvents++
+		c.capSteps = append(c.capSteps, sim.UtilSample{At: atSec, Used: capacity})
+	})
 }
 
 func (c *Cluster) onPodEvent(ev k8s.Event) {
@@ -202,11 +236,13 @@ func (c *Cluster) onJobEvent(ev k8s.Event) {
 	})
 }
 
-// Submit schedules a CharmJob submission at the given offset from start.
+// Submit schedules a CharmJob submission at the given offset from start. A
+// submission the manager rejects (duplicate name, invalid spec) surfaces as
+// an error from Run.
 func (c *Cluster) Submit(job *operator.CharmJob, at time.Duration) {
 	c.Loop.At(at, func() {
 		if err := c.Mgr.Submit(job); err != nil {
-			panic(fmt.Sprintf("cluster: submit %s: %v", job.Name, err))
+			c.fail(fmt.Errorf("cluster: submit %s: %w", job.Name, err))
 		}
 	})
 }
@@ -229,21 +265,25 @@ func (c *Cluster) jobDone(name string) {
 	}
 	c.done[name] = true
 	if err := c.Mgr.JobFinished(name); err != nil {
-		panic(fmt.Sprintf("cluster: finish %s: %v", name, err))
+		c.fail(fmt.Errorf("cluster: finish %s: %w", name, err))
 	}
 }
 
-// Run drives the emulation until every submitted job completes or no
-// progress is possible. maxSteps bounds runaway reconcile loops.
+// Run drives the emulation until every submitted job completes, a callback
+// error is captured, or no progress is possible. maxSteps bounds runaway
+// reconcile loops.
 func (c *Cluster) Run(expectJobs int, maxSteps int) error {
 	steps := 0
 	ok := c.Loop.RunUntil(func() bool {
 		steps++
-		if steps > maxSteps {
+		if steps > maxSteps || c.runErr != nil {
 			return true
 		}
 		return len(c.done) >= expectJobs
 	})
+	if c.runErr != nil {
+		return c.runErr
+	}
 	if !ok || len(c.done) < expectJobs {
 		return fmt.Errorf("cluster: only %d of %d jobs completed after %d steps",
 			len(c.done), expectJobs, steps)
@@ -252,6 +292,10 @@ func (c *Cluster) Run(expectJobs int, maxSteps int) error {
 }
 
 // Result computes the experiment metrics in the paper's four-metric form.
+// It is side-effect-free and idempotent: the open tail of the utilization
+// integral is folded into locals, so consecutive calls return deep-equal
+// results, and Jobs is sorted by (SubmitAt, ID) — matching the simulator's
+// submission ordering — so JSON reports diff cleanly run to run.
 func (c *Cluster) Result() sim.Result {
 	res := sim.Result{
 		Policy:           c.cfg.Policy,
@@ -259,9 +303,6 @@ func (c *Cluster) Result() sim.Result {
 		ReplicaTimelines: c.replicaTL,
 	}
 	capacity := float64(c.cfg.Nodes * c.cfg.CPUPerNode)
-	var firstStart, lastEnd float64
-	first := true
-	var wSum, wResp, wComp float64
 	for name := range c.done {
 		cj, ok := c.Mgr.CoreJob(name)
 		if !ok {
@@ -283,32 +324,59 @@ func (c *Cluster) Result() sim.Result {
 			}
 		}
 		res.Jobs = append(res.Jobs, m)
+	}
+	sort.Slice(res.Jobs, func(a, b int) bool {
+		if res.Jobs[a].SubmitAt != res.Jobs[b].SubmitAt {
+			return res.Jobs[a].SubmitAt < res.Jobs[b].SubmitAt
+		}
+		return res.Jobs[a].ID < res.Jobs[b].ID
+	})
+	// Accumulate the aggregates over the sorted slice, not the done map:
+	// float addition is order-sensitive, so a map-order walk would leave
+	// the weighted means nondeterministic in the last ulp.
+	var firstStart, lastEnd float64
+	first := true
+	var wSum, wResp, wComp float64
+	for _, m := range res.Jobs {
 		if first || m.StartAt < firstStart {
 			firstStart, first = m.StartAt, false
 		}
 		if m.EndAt > lastEnd {
 			lastEnd = m.EndAt
 		}
-		w := float64(cj.Priority)
+		w := float64(m.Priority)
 		wSum += w
 		wResp += w * m.ResponseTime
 		wComp += w * m.CompletionTime
 	}
 	res.TotalTime = lastEnd - firstStart
+	res.FirstStart = firstStart
+	res.LastEnd = lastEnd
+	res.WeightSum = wSum
+	res.EndCapacity = c.Mgr.Scheduler().Capacity()
+	// The emulation's accounting window can extend marginally past the last
+	// job completion: teardown pod events advance utilLast a hair beyond
+	// lastEnd. Used/DeliveredSlotSec both cover [0, end] — self-consistent
+	// with each other and with Utilization, slightly wider than the
+	// simulator's documented [0, LastEnd] window.
 	end := c.utilLast.Sub(c.start).Seconds()
 	if lastEnd > end {
 		end = lastEnd
 	}
+	// Fold the open tail interval [utilLast, now] into a local instead of
+	// mutating the accumulator: Result must not change what a later Result
+	// (or a still-running experiment) observes.
+	utilArea := c.utilArea + float64(c.usedCPU)*c.Loop.Now().Sub(c.utilLast).Seconds()
+	res.UsedSlotSec = utilArea
 	if end > 0 {
-		c.utilArea += float64(c.usedCPU) * (c.Loop.Now().Sub(c.utilLast)).Seconds()
-		c.utilLast = c.Loop.Now()
 		if len(c.capSteps) == 0 {
-			res.Utilization = c.utilArea / (capacity * end)
+			res.DeliveredSlotSec = capacity * end
 		} else {
 			// Time-varying capacity: divide by what was deliverable,
 			// through the exact integral the simulator uses.
-			res.Utilization = c.utilArea / sim.CapacityArea(capacity, c.capSteps, end)
+			res.DeliveredSlotSec = sim.CapacityArea(capacity, c.capSteps, end)
 		}
+		res.Utilization = utilArea / res.DeliveredSlotSec
 	}
 	if wSum > 0 {
 		res.WeightedResponse = wResp / wSum
@@ -320,8 +388,8 @@ func (c *Cluster) Result() sim.Result {
 	res.Requeues = cs.Requeues
 	res.WorkLostSec = c.workLost
 	res.GoodputFrac = 1
-	if c.utilArea > 0 {
-		res.GoodputFrac = 1 - c.overheadArea/c.utilArea
+	if utilArea > 0 {
+		res.GoodputFrac = 1 - c.overheadArea/utilArea
 	}
 	return res
 }

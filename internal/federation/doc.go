@@ -1,0 +1,20 @@
+// Package federation is the multi-cluster meta-scheduler: it routes one
+// workload.Workload across N member clusters — each an independent
+// discrete-event simulator with its own capacity and availability trace —
+// and aggregates the per-cluster results into fleet-wide metrics.
+//
+// Routing is a deterministic partitioning pass over the workload in
+// submission order (round-robin, least-loaded by queued min-PE demand,
+// priority-aware, or random-seeded), after which the member simulations are
+// completely independent. That independence is what makes parallel member
+// execution on sim.RunTasks bit-identical to sequential execution: the
+// partition never depends on member results, each member run is a pure
+// function of its sub-workload, and the aggregation always folds members in
+// index order.
+//
+// Aggregation works on integrals, not ratios: member results carry the
+// utilization numerator and denominator (sim.Result.UsedSlotSec and
+// DeliveredSlotSec) and the priority-weight sum behind their weighted means,
+// so the fleet utilization and fleet weighted response/completion are exact
+// fleet-wide values, not means of per-member means.
+package federation

@@ -1,0 +1,240 @@
+package federation
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"elastichpc/internal/model"
+	"elastichpc/internal/sim"
+	"elastichpc/internal/workload"
+)
+
+// Route selects how jobs are distributed across member clusters.
+type Route int
+
+// Routing policies.
+const (
+	// RoundRobin deals jobs to members in submission order, one each —
+	// the contention-free baseline every other route is judged against.
+	RoundRobin Route = iota
+	// LeastLoaded sends each job to the member with the lowest queued
+	// min-PE demand per capacity slot at the job's submission instant,
+	// estimated from the calibrated performance model (ties go to the
+	// lowest member index).
+	LeastLoaded
+	// PriorityAware routes high-priority jobs (Config.HighPriority and
+	// above) to the least-contended member and deals the rest round-robin,
+	// keeping the fleet's fast lanes clear for urgent work.
+	PriorityAware
+	// Random picks a member uniformly at random from Config.RouteSeed —
+	// the stochastic baseline; deterministic per seed.
+	Random
+)
+
+// AllRoutes lists the routing policies in presentation order.
+func AllRoutes() []Route { return []Route{RoundRobin, LeastLoaded, PriorityAware, Random} }
+
+// String returns the flag-friendly route name.
+func (r Route) String() string {
+	switch r {
+	case RoundRobin:
+		return "round_robin"
+	case LeastLoaded:
+		return "least_loaded"
+	case PriorityAware:
+		return "priority"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("route(%d)", int(r))
+	}
+}
+
+// RouteByName resolves a -route flag value to its Route.
+func RouteByName(name string) (Route, error) {
+	for _, r := range AllRoutes() {
+		if r.String() == name {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf(`federation: unknown route %q (have "round_robin", "least_loaded", "priority", "random")`, name)
+}
+
+// pending is one routed job's estimated residency in a member's queue: it
+// contributes its min-PE demand until its estimated finish time.
+type pending struct {
+	estEnd float64
+	minPE  int
+}
+
+// demandHeap is a min-heap of pending jobs by estimated finish time.
+type demandHeap []pending
+
+func (h *demandHeap) push(p pending) {
+	hh := append(*h, p)
+	i := len(hh) - 1
+	for i > 0 {
+		par := (i - 1) / 2
+		if hh[par].estEnd <= hh[i].estEnd {
+			break
+		}
+		hh[i], hh[par] = hh[par], hh[i]
+		i = par
+	}
+	*h = hh
+}
+
+func (h *demandHeap) pop() pending {
+	hh := *h
+	top := hh[0]
+	n := len(hh) - 1
+	hh[0] = hh[n]
+	hh = hh[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && hh[r].estEnd < hh[c].estEnd {
+			c = r
+		}
+		if hh[i].estEnd <= hh[c].estEnd {
+			break
+		}
+		hh[i], hh[c] = hh[c], hh[i]
+		i = c
+	}
+	*h = hh
+	return top
+}
+
+// router tracks per-member load estimates while partitioning a workload.
+type router struct {
+	cfg     Config
+	machine model.Machine
+	specs   map[model.Class]model.Spec
+	next    int        // round-robin cursor
+	rng     *rand.Rand // Random route
+	// tracksDemand is set for the routes that read the load estimates;
+	// round-robin and random skip the bookkeeping (a model evaluation and
+	// a heap push per job) entirely on the million-job partition path.
+	tracksDemand bool
+	queues       []demandHeap // per-member pending jobs by estimated finish
+	demand       []int        // per-member queued min-PE demand (heap sum)
+}
+
+func newRouter(cfg Config) *router {
+	r := &router{
+		cfg:          cfg,
+		machine:      cfg.Members[0].Machine,
+		specs:        model.Specs(),
+		tracksDemand: cfg.Route == LeastLoaded || cfg.Route == PriorityAware,
+		queues:       make([]demandHeap, len(cfg.Members)),
+		demand:       make([]int, len(cfg.Members)),
+	}
+	if cfg.Route == Random {
+		r.rng = rand.New(rand.NewSource(cfg.RouteSeed))
+	}
+	return r
+}
+
+// drain expires pending jobs whose estimated finish lies at or before now,
+// releasing their demand.
+func (r *router) drain(now float64) {
+	for i := range r.queues {
+		q := &r.queues[i]
+		for len(*q) > 0 && (*q)[0].estEnd <= now {
+			r.demand[i] -= r.pop(i).minPE
+		}
+	}
+}
+
+func (r *router) pop(i int) pending { return r.queues[i].pop() }
+
+// leastLoaded picks the member with the lowest queued min-PE demand per
+// capacity slot; ties go to the lowest index.
+func (r *router) leastLoaded() int {
+	best, bestLoad := 0, float64(r.demand[0])/float64(r.cfg.Members[0].Capacity)
+	for i := 1; i < len(r.demand); i++ {
+		if load := float64(r.demand[i]) / float64(r.cfg.Members[i].Capacity); load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+// route picks the member for one job at its submission instant and, for the
+// demand-driven routes, books the job's estimated demand against it.
+func (r *router) route(js *workload.JobSpec) int {
+	if r.tracksDemand {
+		r.drain(js.SubmitAt)
+	}
+	var m int
+	switch r.cfg.Route {
+	case RoundRobin:
+		m = r.next
+		r.next = (r.next + 1) % len(r.cfg.Members)
+	case LeastLoaded:
+		m = r.leastLoaded()
+	case PriorityAware:
+		if js.Priority >= r.cfg.HighPriority {
+			m = r.leastLoaded()
+		} else {
+			m = r.next
+			r.next = (r.next + 1) % len(r.cfg.Members)
+		}
+	case Random:
+		m = r.rng.Intn(len(r.cfg.Members))
+	default:
+		m = r.next
+		r.next = (r.next + 1) % len(r.cfg.Members)
+	}
+	if r.tracksDemand {
+		spec := r.specs[js.Class]
+		minPE := spec.MinReplicas
+		if slots := r.cfg.Members[m].Capacity; minPE > slots {
+			minPE = slots
+		}
+		// The residency estimate is the job's modelled runtime at its
+		// minimum replica count — a routing heuristic, not a simulation:
+		// it ignores queueing delay, so demand is an optimistic lower
+		// bound. What matters is that it is a deterministic function of
+		// the partition so far.
+		est := r.machine.JobRuntime(spec, minPE)
+		r.queues[m].push(pending{estEnd: js.SubmitAt + est, minPE: minPE})
+		r.demand[m] += minPE
+	}
+	return m
+}
+
+// Partition routes every job of the workload to a member cluster, returning
+// one sub-workload per member (jobs kept in submission order) and the member
+// index chosen for each job of w (in w's own order). The pass is
+// deterministic: jobs are visited in submission order — equal submission
+// times keep workload order, exactly as the simulator admits them — and no
+// routing decision depends on member simulation results.
+func Partition(cfg Config, w workload.Workload) ([]sim.Workload, []int, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	order := make([]int32, len(w.Jobs))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return w.Jobs[order[a]].SubmitAt < w.Jobs[order[b]].SubmitAt
+	})
+	parts := make([]sim.Workload, len(cfg.Members))
+	assign := make([]int, len(w.Jobs))
+	r := newRouter(cfg)
+	for _, wi := range order {
+		js := &w.Jobs[wi]
+		m := r.route(js)
+		assign[wi] = m
+		parts[m].Jobs = append(parts[m].Jobs, *js)
+	}
+	return parts, assign, nil
+}

@@ -1,0 +1,77 @@
+package federation
+
+import (
+	"fmt"
+
+	"elastichpc/internal/core"
+	"elastichpc/internal/sim"
+	"elastichpc/internal/workload"
+)
+
+// Sweep runs every given routing policy under every scheduling policy
+// across `seeds` seeds of the workload generator on a bounded worker pool
+// and averages the fleet metrics per (route, policy) — the federation sweep
+// axis next to the Figure 7/8, scenario, and availability sweeps. Each
+// member cluster keeps the paper's base configuration at the given rescale
+// gap, with capacities ramped by skew (0 = homogeneous, see Skewed);
+// clusters < 1 is an error. Results are ordered like routes, reusing
+// sim.ScenarioResult with the route name as the scenario label, so the
+// metrics converters and CLI printers work unchanged.
+//
+// Cells run one per (route, policy, seed) on the outer pool; each cell's
+// federation runs its members sequentially (Workers = 1), so the sweep's
+// parallelism lives in one place and cell results stay bit-identical to a
+// fully sequential sweep.
+func Sweep(routes []Route, gen workload.Generator, clusters, seeds int, rescaleGap, skew float64, workers int) ([]sim.ScenarioResult, error) {
+	if clusters < 1 {
+		return nil, fmt.Errorf("federation: sweep needs clusters >= 1, got %d", clusters)
+	}
+	if seeds < 1 {
+		return nil, fmt.Errorf("federation: sweep needs seeds >= 1, got %d", seeds)
+	}
+	policies := core.AllPolicies()
+	perRoute := len(policies) * seeds
+	cells := make([]Result, len(routes)*perRoute)
+	err := sim.RunTasks(len(cells), workers, func(i int) error {
+		route := routes[i/perRoute]
+		p := policies[(i%perRoute)/seeds]
+		seed := int64(i % seeds)
+		w, err := gen.Generate(seed)
+		if err != nil {
+			return fmt.Errorf("route %v policy %v seed %d: %w", route, p, seed, err)
+		}
+		base := sim.DefaultConfig(p)
+		base.RescaleGap = rescaleGap
+		res, err := Run(Config{
+			Members:   Skewed(base, clusters, skew),
+			Route:     route,
+			RouteSeed: seed,
+			Workers:   1,
+		}, w)
+		if err != nil {
+			return fmt.Errorf("route %v policy %v seed %d: %w", route, p, seed, err)
+		}
+		cells[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]sim.ScenarioResult, 0, len(routes))
+	for ri, route := range routes {
+		sr := sim.ScenarioResult{Name: route.String(), ByPolicy: make(map[core.Policy]sim.AverageResult, len(policies))}
+		for poli, p := range policies {
+			avg := sim.AverageResult{Policy: p}
+			for seed := 0; seed < seeds; seed++ {
+				res := cells[ri*perRoute+poli*seeds+seed]
+				avg.Accumulate(res.fleetView())
+				avg.Imbalance += res.Imbalance
+			}
+			avg.Finalize()
+			sr.ByPolicy[p] = avg
+		}
+		out = append(out, sr)
+	}
+	return out, nil
+}

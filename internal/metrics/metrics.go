@@ -10,16 +10,18 @@ import (
 	"strings"
 
 	"elastichpc/internal/core"
+	"elastichpc/internal/federation"
 	"elastichpc/internal/sim"
 )
 
 // SchemaVersion is the report format generation written by New. Version 2
 // added the resilience aggregates (capacity events, preemptions survived,
-// requeues, work lost, goodput) to Run. Readers accept every generation
-// back to MinReadableSchema — older fields are a strict subset, so a v1
-// report decodes losslessly — and reject newer generations rather than
-// misinterpreting them.
-const SchemaVersion = 2
+// requeues, work lost, goodput) to Run; version 3 added the federation
+// fields (route, imbalance, and per-cluster member sub-runs). Readers accept
+// every generation back to MinReadableSchema — older fields are a strict
+// subset, so v1 and v2 reports decode losslessly — and reject newer
+// generations rather than misinterpreting them.
+const SchemaVersion = 3
 
 // MinReadableSchema is the oldest report generation Validate accepts.
 const MinReadableSchema = 1
@@ -68,6 +70,13 @@ type Run struct {
 	Requeued         float64 `json:"requeued,omitempty"`          // checkpoint-requeued jobs
 	WorkLostSec      float64 `json:"work_lost_s,omitempty"`
 	Goodput          float64 `json:"goodput,omitempty"` // productive fraction of delivered replica-seconds
+	// Federation fields (schema v3; absent from single-cluster runs). A
+	// federated run's fleet row names its routing policy, the utilization
+	// spread between its busiest and idlest member, and carries one member
+	// sub-run per cluster (members never nest further).
+	Route     string  `json:"route,omitempty"`
+	Imbalance float64 `json:"imbalance,omitempty"`
+	Members   []Run   `json:"members,omitempty"`
 }
 
 // Sweep is one parameter sweep: per-policy metrics at each x.
@@ -173,6 +182,34 @@ func FromResult(name string, res sim.Result) Run {
 	}
 }
 
+// FromFederation converts a federation run: the fleet-wide metrics as the
+// top-level Run with its route, imbalance, and one member sub-run per
+// cluster (named cluster0..clusterN-1, in member order).
+func FromFederation(name string, res federation.Result) Run {
+	run := Run{
+		Name:               name,
+		Policy:             res.Policy.String(),
+		TotalTime:          res.TotalTime,
+		Utilization:        res.Utilization,
+		WeightedResponse:   res.WeightedResponse,
+		WeightedCompletion: res.WeightedCompletion,
+		CapacityEvents:     float64(res.CapacityEvents),
+		PreemptsSurvived:   float64(res.ForcedShrinks),
+		Requeued:           float64(res.Requeues),
+		WorkLostSec:        res.WorkLostSec,
+		Goodput:            res.GoodputFrac,
+		Route:              res.Route.String(),
+		Imbalance:          res.Imbalance,
+	}
+	for i, m := range res.Members {
+		member := FromResult(fmt.Sprintf("cluster%d", i), m)
+		member.Jobs = res.JobsPerMember[i]
+		run.Jobs += member.Jobs
+		run.Members = append(run.Members, member)
+	}
+	return run
+}
+
 // FromAverage converts one per-policy seed-averaged cell.
 func FromAverage(name string, avg sim.AverageResult) Run {
 	return Run{
@@ -188,6 +225,7 @@ func FromAverage(name string, avg sim.AverageResult) Run {
 		Requeued:           avg.Requeues,
 		WorkLostSec:        avg.WorkLostSec,
 		Goodput:            avg.GoodputFrac,
+		Imbalance:          avg.Imbalance,
 	}
 }
 

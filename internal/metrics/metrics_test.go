@@ -3,13 +3,17 @@ package metrics
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
 
+	"elastichpc/internal/cluster"
 	"elastichpc/internal/core"
+	"elastichpc/internal/federation"
 	"elastichpc/internal/sim"
 	"elastichpc/internal/workload"
 )
@@ -21,6 +25,17 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden fi
 func goldenReport() Report {
 	r := New("elasticsim", KindSweep)
 	r.Params = map[string]string{"seeds": "2", "rescale_gap": "180"}
+	r.Runs = []Run{
+		{Name: "federation", Policy: "elastic", Jobs: 32, TotalTime: 1500, Utilization: 0.7,
+			WeightedResponse: 90, WeightedCompletion: 500,
+			Route: "least_loaded", Imbalance: 0.05,
+			Members: []Run{
+				{Name: "cluster0", Policy: "elastic", Jobs: 20, TotalTime: 1500, Utilization: 0.72,
+					WeightedResponse: 95, WeightedCompletion: 520},
+				{Name: "cluster1", Policy: "elastic", Jobs: 12, TotalTime: 1400, Utilization: 0.68,
+					WeightedResponse: 80, WeightedCompletion: 470},
+			}},
+	}
 	r.Sweeps = []Sweep{
 		{
 			Name: "submission_gap",
@@ -74,8 +89,28 @@ func TestReadsSchemaV1Golden(t *testing.T) {
 	}
 }
 
+// TestReadsSchemaV2Golden pins backward compatibility one generation up: a
+// report written by the schema-2 generation (resilience fields, no
+// federation fields) must keep loading under the v3 reader.
+func TestReadsSchemaV2Golden(t *testing.T) {
+	r, err := Read(filepath.Join("testdata", "report_v2.golden.json"))
+	if err != nil {
+		t.Fatalf("v2 report no longer readable: %v", err)
+	}
+	if r.Schema != 2 || r.Kind != KindSweep {
+		t.Errorf("schema %d kind %q, want 2/sweep", r.Schema, r.Kind)
+	}
+	run := r.Sweeps[0].Points[0].Runs[0]
+	if run.Policy != "elastic" || run.CapacityEvents != 3 || run.Goodput != 0.9625 {
+		t.Errorf("v2 run decoded wrong: %+v", run)
+	}
+	if run.Route != "" || run.Imbalance != 0 || run.Members != nil {
+		t.Errorf("v2 run grew federation values from nowhere: %+v", run)
+	}
+}
+
 func TestGoldenRoundTrip(t *testing.T) {
-	golden := filepath.Join("testdata", "report_v2.golden.json")
+	golden := filepath.Join("testdata", "report_v3.golden.json")
 	r := goldenReport()
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -198,6 +233,106 @@ func TestFromResultAndSweepConverters(t *testing.T) {
 		if p.Label != gens[i].Name() || p.X != float64(i) || len(p.Runs) != 4 {
 			t.Errorf("scenario point %d: %+v", i, p)
 		}
+	}
+}
+
+// TestClusterReportGolden extends the golden coverage to the cluster
+// emulation backend: a fixed small workload through cluster.RunExperiment
+// must serialize to byte-identical JSON every run — the regression guard for
+// the Result() map-ordering bug (Jobs used to come out in map iteration
+// order, so -json reports never diffed clean). Times are rounded to
+// microseconds so the pin survives float-ulp differences across
+// architectures while still catching any reordering or metric drift.
+func TestClusterReportGolden(t *testing.T) {
+	golden := filepath.Join("testdata", "cluster_run.golden.json")
+	w := sim.RandomWorkload(6, 90, 4)
+	res, err := cluster.RunExperiment(cluster.DefaultConfig(core.Elastic), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	round := func(x float64) float64 { return math.Round(x*1e6) / 1e6 }
+	type jobRow struct {
+		ID       string  `json:"id"`
+		Priority int     `json:"priority"`
+		Replicas int     `json:"replicas"`
+		SubmitAt float64 `json:"submit_at_s"`
+		StartAt  float64 `json:"start_at_s"`
+		EndAt    float64 `json:"end_at_s"`
+		Rescales int     `json:"rescales"`
+	}
+	doc := struct {
+		Run  Run      `json:"run"`
+		Jobs []jobRow `json:"jobs"`
+	}{Run: FromResult("cluster", res)}
+	doc.Run.TotalTime = round(doc.Run.TotalTime)
+	doc.Run.Utilization = round(doc.Run.Utilization)
+	doc.Run.WeightedResponse = round(doc.Run.WeightedResponse)
+	doc.Run.WeightedCompletion = round(doc.Run.WeightedCompletion)
+	doc.Run.Goodput = round(doc.Run.Goodput)
+	for _, j := range res.Jobs {
+		doc.Jobs = append(doc.Jobs, jobRow{
+			ID: j.ID, Priority: j.Priority, Replicas: j.Replicas,
+			SubmitAt: round(j.SubmitAt), StartAt: round(j.StartAt), EndAt: round(j.EndAt),
+			Rescales: j.Rescales,
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *updateGolden {
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if string(data) != string(want) {
+		t.Errorf("cluster-backend report drifted from golden:\ngot:\n%s\nwant:\n%s", data, want)
+	}
+}
+
+// TestFromFederationConverter checks the fleet/member mapping.
+func TestFromFederationConverter(t *testing.T) {
+	w := sim.RandomWorkload(12, 60, 2)
+	res, err := federation.Run(federation.Config{
+		Members: federation.Uniform(sim.DefaultConfig(core.Elastic), 3),
+		Route:   federation.RoundRobin,
+		Workers: 1,
+	}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := FromFederation("fed", res)
+	if run.Route != "round_robin" || len(run.Members) != 3 {
+		t.Fatalf("converted run: %+v", run)
+	}
+	if run.Jobs != 12 {
+		t.Errorf("fleet job count %d", run.Jobs)
+	}
+	for i, m := range run.Members {
+		if m.Name != fmt.Sprintf("cluster%d", i) {
+			t.Errorf("member %d named %q", i, m.Name)
+		}
+		if m.Jobs != res.JobsPerMember[i] {
+			t.Errorf("member %d jobs %d, want %d", i, m.Jobs, res.JobsPerMember[i])
+		}
+	}
+	rep := New("test", KindRun)
+	rep.Runs = []Run{run}
+	path := filepath.Join(t.TempDir(), "fed.json")
+	if err := Write(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Runs[0], run) {
+		t.Error("federation run did not round-trip")
 	}
 }
 

@@ -88,6 +88,20 @@ type Result struct {
 	Requeues       int
 	WorkLostSec    float64
 	GoodputFrac    float64
+	// Federation-aggregation ingredients. FirstStart and LastEnd bound the
+	// experiment window (TotalTime = LastEnd - FirstStart); UsedSlotSec and
+	// DeliveredSlotSec are the utilization integral's numerator and
+	// denominator (allocated vs. deliverable slot-seconds over [0, LastEnd]);
+	// WeightSum is the total priority weight behind the weighted means; and
+	// EndCapacity is the slot capacity in force when the run drained. A
+	// fleet-wide metric over member results sums the integrals and weights
+	// rather than averaging the per-member ratios, so it is exact.
+	FirstStart       float64
+	LastEnd          float64
+	UsedSlotSec      float64
+	DeliveredSlotSec float64
+	WeightSum        float64
+	EndCapacity      int
 	// Jobs, UtilTimeline, and ReplicaTimelines are nil in streaming mode
 	// (Config.Streaming); the aggregate metrics above are always computed.
 	Jobs             []JobMetrics
@@ -766,6 +780,11 @@ func (s *Simulator) collect(w Workload) (Result, error) {
 		return res, fmt.Errorf("sim: %d of %d jobs completed", s.completed, len(w.Jobs))
 	}
 	res.TotalTime = s.lastEnd - s.firstStart
+	res.FirstStart = s.firstStart
+	res.LastEnd = s.lastEnd
+	res.UsedSlotSec = s.utilArea
+	res.WeightSum = s.wSum
+	res.EndCapacity = s.sched.Capacity()
 	// Utilization over the experiment window [0, lastEnd]: no work happens
 	// after the last completion, so the accumulated area is complete. With
 	// availability events the denominator is the capacity the cluster
@@ -773,10 +792,11 @@ func (s *Simulator) collect(w Workload) (Result, error) {
 	// keeps the historical (bit-identical) result.
 	if s.lastEnd > 0 {
 		if len(s.capSteps) == 0 {
-			res.Utilization = s.utilArea / (float64(s.cfg.Capacity) * s.lastEnd)
+			res.DeliveredSlotSec = float64(s.cfg.Capacity) * s.lastEnd
 		} else {
-			res.Utilization = s.utilArea / CapacityArea(float64(s.cfg.Capacity), s.capSteps, s.lastEnd)
+			res.DeliveredSlotSec = CapacityArea(float64(s.cfg.Capacity), s.capSteps, s.lastEnd)
 		}
+		res.Utilization = s.utilArea / res.DeliveredSlotSec
 	}
 	if s.wSum > 0 {
 		res.WeightedResponse = s.wResp / s.wSum

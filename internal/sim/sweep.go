@@ -10,7 +10,9 @@ import (
 // AverageResult is the mean of a metric set over repeated seeds. The
 // resilience means (CapacityEvents through GoodputFrac) are zero for sweeps
 // that run on a fixed-capacity cluster, except GoodputFrac which is always
-// meaningful (policy rescales charge overhead too).
+// meaningful (policy rescales charge overhead too). Imbalance is the mean
+// member-utilization spread of federated runs; single-cluster sweeps leave
+// it zero.
 type AverageResult struct {
 	Policy             core.Policy
 	TotalTime          float64
@@ -22,7 +24,43 @@ type AverageResult struct {
 	Requeues           float64
 	WorkLostSec        float64
 	GoodputFrac        float64
+	Imbalance          float64
 	Runs               int
+}
+
+// Accumulate folds one run's aggregate metrics into the running sums; pair
+// with Finalize once every run is folded. Imbalance has no sim.Result source
+// — the federation sweep sums it directly before calling Finalize.
+func (a *AverageResult) Accumulate(r Result) {
+	a.TotalTime += r.TotalTime
+	a.Utilization += r.Utilization
+	a.WeightedResponse += r.WeightedResponse
+	a.WeightedCompletion += r.WeightedCompletion
+	a.CapacityEvents += float64(r.CapacityEvents)
+	a.ForcedShrinks += float64(r.ForcedShrinks)
+	a.Requeues += float64(r.Requeues)
+	a.WorkLostSec += r.WorkLostSec
+	a.GoodputFrac += r.GoodputFrac
+	a.Runs++
+}
+
+// Finalize turns the accumulated sums into means over Runs (no-op on an
+// empty accumulator).
+func (a *AverageResult) Finalize() {
+	if a.Runs == 0 {
+		return
+	}
+	n := float64(a.Runs)
+	a.TotalTime /= n
+	a.Utilization /= n
+	a.WeightedResponse /= n
+	a.WeightedCompletion /= n
+	a.CapacityEvents /= n
+	a.ForcedShrinks /= n
+	a.Requeues /= n
+	a.WorkLostSec /= n
+	a.GoodputFrac /= n
+	a.Imbalance /= n
 }
 
 // SweepPoint is one x-coordinate of a Figure 7/8 sweep with per-policy
@@ -73,28 +111,9 @@ func sweepGrid(xs []float64, seeds, workers int, run func(x float64, p core.Poli
 		for poli, p := range policies {
 			avg := AverageResult{Policy: p}
 			for seed := 0; seed < seeds; seed++ {
-				res := cells[pi*perPoint+poli*seeds+seed]
-				avg.TotalTime += res.TotalTime
-				avg.Utilization += res.Utilization
-				avg.WeightedResponse += res.WeightedResponse
-				avg.WeightedCompletion += res.WeightedCompletion
-				avg.CapacityEvents += float64(res.CapacityEvents)
-				avg.ForcedShrinks += float64(res.ForcedShrinks)
-				avg.Requeues += float64(res.Requeues)
-				avg.WorkLostSec += res.WorkLostSec
-				avg.GoodputFrac += res.GoodputFrac
-				avg.Runs++
+				avg.Accumulate(cells[pi*perPoint+poli*seeds+seed])
 			}
-			n := float64(avg.Runs)
-			avg.TotalTime /= n
-			avg.Utilization /= n
-			avg.WeightedResponse /= n
-			avg.WeightedCompletion /= n
-			avg.CapacityEvents /= n
-			avg.ForcedShrinks /= n
-			avg.Requeues /= n
-			avg.WorkLostSec /= n
-			avg.GoodputFrac /= n
+			avg.Finalize()
 			pt.ByPolicy[p] = avg
 		}
 		points = append(points, pt)
