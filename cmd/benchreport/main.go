@@ -21,6 +21,12 @@
 // gate sees the numbers. Custom metrics beyond the gated one — e.g. the
 // federation benchmark's per-cluster job counts and utilizations — are
 // listed as informational rows and never gate.
+//
+// Benchmarks recording jobs/s on both sides additionally get a speedup row:
+// the candidate/baseline throughput ratio. With -min-speedup, gated
+// benchmarks whose ratio falls below the floor fail the comparison —
+// e.g. -min-speedup 1.0 demands the candidate at least match the baseline's
+// throughput regardless of the ±threshold ns/op gate.
 package main
 
 import (
@@ -50,6 +56,7 @@ func main() {
 		metric       = flag.String("metric", "ns/op", "metric to gate on")
 		gateAllocs   = flag.Bool("gate-allocs", true, "also gate allocs/op on the gated benchmarks (allocation regressions fail like time regressions)")
 		match        = flag.String("match", "", "regexp of benchmark names to gate on (others shown informationally); empty = all")
+		minSpeedup   = flag.Float64("min-speedup", 0, "minimum candidate/baseline jobs/s ratio for gated benchmarks (0 = no floor)")
 		allowMissing = flag.Bool("allow-missing", false, "tolerate baseline benchmarks absent from the candidate")
 	)
 	flag.Parse()
@@ -95,7 +102,7 @@ func main() {
 				log.Fatalf("-match: %v", err)
 			}
 		}
-		regressions := compare(base, cand, *metric, *threshold, *allowMissing, gate, *gateAllocs)
+		regressions := compare(base, cand, *metric, *threshold, *allowMissing, gate, *gateAllocs, *minSpeedup)
 		if regressions > 0 {
 			fmt.Printf("\n%d regression(s) beyond ±%.0f%% on %s\n", regressions, 100**threshold, *metric)
 			os.Exit(1)
@@ -195,7 +202,11 @@ func value(b metrics.Benchmark, metric string) (float64, bool) {
 // With gateAllocs, gated benchmarks that record allocs/op on both sides are
 // additionally held to the same ±threshold on allocations, and a geomean
 // summary row aggregates the gated ratios on each gated metric.
-func compare(base, cand metrics.Report, metric string, threshold float64, allowMissing bool, gate *regexp.Regexp, gateAllocs bool) int {
+//
+// Benchmarks recording jobs/s on both sides get a speedup row with the
+// candidate/baseline throughput ratio; with minSpeedup > 0, gated benchmarks
+// whose ratio falls below the floor count as regressions.
+func compare(base, cand metrics.Report, metric string, threshold float64, allowMissing bool, gate *regexp.Regexp, gateAllocs bool, minSpeedup float64) int {
 	higherBetter := strings.HasSuffix(metric, "/s")
 	candidates := make(map[string]metrics.Benchmark, len(cand.Benchmarks))
 	for _, b := range cand.Benchmarks {
@@ -259,15 +270,25 @@ func compare(base, cand metrics.Report, metric string, threshold float64, allowM
 					b.Name, "allocs/op", "-", "-", "-")
 			}
 		}
+		// The throughput speedup row: candidate/baseline jobs/s as an
+		// explicit ratio. It gates only under -min-speedup; the generic
+		// info row below is skipped for jobs/s since the speedup row
+		// already shows both values.
+		if bj, cj := b.Custom["jobs/s"], c.Custom["jobs/s"]; bj > 0 && cj > 0 {
+			regressions += speedupRow(b.Name, bj, cj, minSpeedup, gated)
+		}
 		// Custom sub-metrics beyond the gated one — the federation
-		// benchmark's per-cluster job counts and utilizations, the
-		// simulator's jobs/s when ns/op gates — are listed informationally
-		// and never fail the comparison. Units the candidate stopped
-		// reporting (a benchmark changed what it measures) are called out
-		// rather than silently vanishing.
+		// benchmark's per-cluster job counts and utilizations — are listed
+		// informationally and never fail the comparison. Units the
+		// candidate stopped reporting (a benchmark changed what it
+		// measures) are called out rather than silently vanishing.
 		for _, unit := range customUnits(c, metric) {
 			cv := c.Custom[unit]
-			if bv, ok := b.Custom[unit]; ok && bv > 0 && cv > 0 {
+			bv, ok := b.Custom[unit]
+			if unit == "jobs/s" && bv > 0 && cv > 0 {
+				continue // shown as the speedup row above
+			}
+			if ok && bv > 0 && cv > 0 {
 				fmt.Printf("%-46s %10s %14.4g %14.4g %+7.1f%%  info (ungated)\n",
 					b.Name, unit, bv, cv, 100*(cv/bv-1))
 			} else {
@@ -310,6 +331,25 @@ func row(name, metric string, bv, cv, threshold float64, higherBetter, gated boo
 		verdict = "improved"
 	}
 	fmt.Printf("%-46s %10s %14.4g %14.4g %+7.1f%%  %s\n", name, metric, bv, cv, 100*delta, verdict)
+	return regression
+}
+
+// speedupRow prints the candidate/baseline throughput ratio for a benchmark
+// recording jobs/s on both sides. Without a -min-speedup floor the row is
+// informational; with one, a gated benchmark below the floor counts as a
+// regression even if the ±threshold gate on the primary metric passed.
+func speedupRow(name string, bv, cv, minSpeedup float64, gated bool) int {
+	ratio := cv / bv
+	verdict := "info (ungated)"
+	regression := 0
+	if minSpeedup > 0 && gated {
+		verdict = "ok"
+		if ratio < minSpeedup {
+			verdict = fmt.Sprintf("BELOW %.2fx FLOOR", minSpeedup)
+			regression = 1
+		}
+	}
+	fmt.Printf("%-46s %10s %14.4g %14.4g %7.2fx  %s\n", name, "speedup", bv, cv, ratio, verdict)
 	return regression
 }
 

@@ -19,6 +19,7 @@
 //	elasticsim -availability failures -mttf 900          # tune the failure rate
 //	elasticsim -seeds 100 -jobs 16         # paper-scale averaging
 //	elasticsim -parallel 1 -sweep gap      # sequential reference run
+//	elasticsim -scenario burst -shards 8   # shard the event loop by time epoch
 //	elasticsim -scenario burst -save-workload wl.json   # export a workload
 //	elasticsim -availability spot -save-availability cap.json   # export a capacity trace
 //	elasticsim -table1 -json table1.json   # also write a metrics.Report
@@ -48,6 +49,7 @@ func main() {
 		scenario = flag.String("scenario", "", "workload scenario: uniform | poisson | burst | diurnal | trace")
 		tracePth = flag.String("trace", "", "workload trace file to replay (JSON or CSV; implies -scenario trace)")
 		parallel = flag.Int("parallel", 0, "sweep worker count (0 = all CPUs, 1 = sequential)")
+		shards   = flag.Int("shards", 0, "shard a single run's event loop across N time epochs (0/1 = sequential; results are bit-identical)")
 		seed     = flag.Int64("seed", 7, "seed for -scenario / -save-workload runs")
 		saveWL   = flag.String("save-workload", "", "write the selected scenario's workload to this path and exit")
 		jsonPath = flag.String("json", "", "also write the results as a metrics.Report to this path")
@@ -137,6 +139,12 @@ func main() {
 		// The converse mistake: federation flags on a single-cluster run
 		// would be silently dropped.
 		log.Fatal("-route/-skew need a federation: pass -clusters N or -sweep federation")
+	}
+	// -shards drives the sharded event loop of a single simulation; sweeps
+	// and federations parallelize across runs instead (-parallel), so reject
+	// the flag where it would be silently ignored.
+	if *shards > 1 && (*sweep != "" || *table1 || *clusters > 1 || *saveWL != "" || *saveAvail != "") {
+		log.Fatal("-shards applies to single-cluster single-workload runs (sweeps and federations parallelize with -parallel)")
 	}
 
 	switch {
@@ -297,7 +305,10 @@ func main() {
 			}
 			avail = avail.WithRestore(base, horizon)
 		}
-		report = runWorkload(g.Name(), w, avail, params)
+		if *shards > 1 {
+			params["shards"] = strconv.Itoa(*shards)
+		}
+		report = runWorkload(g.Name(), w, avail, *shards, params)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -423,7 +434,7 @@ func runFederation(name string, w sim.Workload, clusters int, route federation.R
 	return &rep
 }
 
-func runWorkload(name string, w sim.Workload, avail workload.AvailabilityTrace, params map[string]string) *metrics.Report {
+func runWorkload(name string, w sim.Workload, avail workload.AvailabilityTrace, shards int, params map[string]string) *metrics.Report {
 	withAvail := !avail.Empty()
 	if withAvail {
 		fmt.Printf("Replaying %d-job %s workload with %d capacity events under all policies (T_rescale_gap = 180 s)\n",
@@ -439,7 +450,15 @@ func runWorkload(name string, w sim.Workload, avail workload.AvailabilityTrace, 
 	rep := metrics.New("elasticsim", metrics.KindRun)
 	rep.Params = params
 	for _, p := range core.AllPolicies() {
-		r, err := sim.RunPolicyAvailability(p, w, 180, avail)
+		cfg := sim.DefaultConfig(p)
+		cfg.RescaleGap = 180
+		cfg.Availability = avail
+		cfg.Shards = shards
+		s, err := sim.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := s.Run(w)
 		if err != nil {
 			log.Fatal(err)
 		}

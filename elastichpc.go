@@ -187,6 +187,16 @@ func SimulateStreaming(p Policy, w Workload, rescaleGapSeconds float64) (SimResu
 	return sim.RunPolicyStreaming(p, w, rescaleGapSeconds)
 }
 
+// SimulateParallel is SimulateStreaming with the event loop sharded across
+// `shards` goroutines by time epoch (0 or 1 = sequential). The result is
+// bit-identical to the sequential run on any shard count; the speedup
+// depends on the workload — epochs cut only where the cluster drains, so
+// bursty workloads parallelize and a saturated backlog degrades gracefully
+// to the sequential loop.
+func SimulateParallel(p Policy, w Workload, rescaleGapSeconds float64, shards int) (SimResult, error) {
+	return sim.RunPolicyParallel(p, w, rescaleGapSeconds, shards)
+}
+
 // Workload scenarios (the internal/workload engine): generators produce
 // reproducible workloads that drive both Simulate and Emulate, and sweeps
 // fan out over a bounded worker pool.

@@ -1,6 +1,7 @@
 package elastichpc_test
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -127,6 +128,13 @@ func TestFacadeStreamingAndMetricsReport(t *testing.T) {
 	}
 	if streaming.Jobs != nil {
 		t.Error("streaming result retained per-job metrics")
+	}
+	parallel, err := elastichpc.SimulateParallel(elastichpc.Elastic, w, 180, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parallel, streaming) {
+		t.Errorf("sharded facade run diverges from streaming: %+v vs %+v", parallel, streaming)
 	}
 
 	rep := elastichpc.NewMetricsReport("facade-test", "run")

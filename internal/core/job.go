@@ -51,6 +51,13 @@ type Job struct {
 	// string-keyed map lookup on the hot path.
 	Ref int32
 
+	// IDRank is an optional driver-assigned tie-break rank: among jobs with
+	// equal SubmitTime it must be ordered exactly like ID (rank(a) < rank(b)
+	// iff a.ID < b.ID). The final comparator tie-break then costs one integer
+	// compare instead of a string compare. Two jobs with equal ranks fall
+	// back to comparing IDs, so leaving the field zero is always correct.
+	IDRank int32
+
 	// Comparison caches maintained by the scheduler: the base priority as
 	// a float and the submit/last-action instants in Unix nanoseconds, so
 	// the priority order and rescale-gap checks on the hot path are plain
@@ -124,6 +131,10 @@ func (s *Scheduler) sortJobs(jobs []*Job) {
 		case a.submitNs < b.submitNs:
 			return -1
 		case a.submitNs > b.submitNs:
+			return 1
+		case a.IDRank < b.IDRank:
+			return -1
+		case a.IDRank > b.IDRank:
 			return 1
 		}
 		return strings.Compare(a.ID, b.ID)

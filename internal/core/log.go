@@ -120,3 +120,33 @@ func (s *Scheduler) recordCapacity(n int) {
 func (s *Scheduler) Log() []Decision {
 	return s.log.snapshot()
 }
+
+// MergeLogs concatenates per-segment decision logs (each oldest-first) in
+// segment order and applies the ring-buffer bound, keeping the newest
+// maxLogEntries entries — exactly the log one scheduler would hold had it
+// recorded every segment's decisions in sequence. (A segment whose own ring
+// already dropped entries dropped only entries with at least maxLogEntries
+// successors globally, which the single-scheduler ring drops too.)
+func MergeLogs(segments ...[]Decision) []Decision {
+	total := 0
+	for _, seg := range segments {
+		total += len(seg)
+	}
+	if total == 0 {
+		return nil
+	}
+	skip := 0
+	if total > maxLogEntries {
+		skip = total - maxLogEntries
+	}
+	out := make([]Decision, 0, total-skip)
+	for _, seg := range segments {
+		if skip >= len(seg) {
+			skip -= len(seg)
+			continue
+		}
+		out = append(out, seg[skip:]...)
+		skip = 0
+	}
+	return out
+}

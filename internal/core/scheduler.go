@@ -307,6 +307,10 @@ func (s *Scheduler) compare(a, b *Job) int {
 		return -1
 	case a.submitNs > b.submitNs:
 		return 1
+	case a.IDRank < b.IDRank:
+		return -1
+	case a.IDRank > b.IDRank:
+		return 1
 	}
 	return strings.Compare(a.ID, b.ID)
 }
@@ -322,6 +326,9 @@ func (s *Scheduler) before(a, b *Job) bool {
 	}
 	if a.submitNs != b.submitNs {
 		return a.submitNs < b.submitNs
+	}
+	if a.IDRank != b.IDRank {
+		return a.IDRank < b.IDRank
 	}
 	return a.ID < b.ID
 }
@@ -496,6 +503,22 @@ func (s *Scheduler) submit(job *Job) {
 	}
 	if replicas >= minR {
 		if s.start(job, replicas) {
+			return
+		}
+		s.enqueue(job)
+		return
+	}
+
+	// O(1) infeasibility gate: the feasibility walk below can never count
+	// more freeable slots than maxFreeable, so when even that bound cannot
+	// cover the deficit the walk's outcome is already decided. The gated
+	// path reproduces it exactly — try preemption, else enqueue — and the
+	// walk it skips emits no decisions, so the shortcut is
+	// decision-transparent. Disabled in FullRedistribute mode like every
+	// incremental early-out.
+	if !s.cfg.FullRedistribute && s.free+s.maxFreeable() < minR+overhead {
+		if s.cfg.EnablePreemption && s.tryPreempt(job, minR, overhead) {
+			s.submit(job) // room was made; re-run placement
 			return
 		}
 		s.enqueue(job)

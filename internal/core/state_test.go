@@ -1,0 +1,173 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// populatedSched builds a scheduler holding a mix of running and queued
+// jobs, with some wall-clock history behind the gap checks.
+func populatedSched(t *testing.T) (*Scheduler, *testClock) {
+	t.Helper()
+	s, _, clk := newSched(t, Config{Policy: Elastic, Capacity: 16, RescaleGap: time.Minute})
+	for _, j := range []*Job{
+		job("a", 5, 2, 8), job("b", 3, 2, 8), job("c", 4, 4, 8),
+		job("d", 1, 4, 16), job("e", 2, 8, 16),
+	} {
+		j.SubmitTime = clk.t
+		if err := s.Submit(j); err != nil {
+			t.Fatalf("submit %s: %v", j.ID, err)
+		}
+		clk.advance(3 * time.Second)
+	}
+	return s, clk
+}
+
+// TestSchedulerStateRoundTrip pins the snapshot/restore contract: restoring
+// an exported state into a fresh scheduler reproduces the exported fields,
+// the derived accounting, and the observable queue/running sets exactly.
+func TestSchedulerStateRoundTrip(t *testing.T) {
+	src, _ := populatedSched(t)
+	st := src.ExportState()
+	if len(st.Running) == 0 || len(st.Queued) == 0 {
+		t.Fatalf("scenario lost its point: %d running, %d queued", len(st.Running), len(st.Queued))
+	}
+
+	dst, _, _ := newSched(t, Config{Policy: Elastic, Capacity: 4, RescaleGap: time.Minute})
+	if err := dst.RestoreState(st); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got, want := dst.Capacity(), src.Capacity(); got != want {
+		t.Errorf("capacity %d, want %d", got, want)
+	}
+	if got, want := dst.FreeSlots(), src.FreeSlots(); got != want {
+		t.Errorf("free slots %d, want %d", got, want)
+	}
+	if got, want := dst.NumRunning(), src.NumRunning(); got != want {
+		t.Errorf("running %d, want %d", got, want)
+	}
+	if got, want := dst.NumQueued(), src.NumQueued(); got != want {
+		t.Errorf("queued %d, want %d", got, want)
+	}
+	back := dst.ExportState()
+	if !reflect.DeepEqual(st, back) {
+		t.Errorf("round trip diverged:\nexported: %+v\nrestored: %+v", st, back)
+	}
+}
+
+// TestRestoreStateAllocatesFreshJobs checks the restore's isolation: the
+// restored scheduler must not share Job records with the snapshot (or with
+// the exporting scheduler), while preserving Ref for driver re-attachment.
+func TestRestoreStateAllocatesFreshJobs(t *testing.T) {
+	src, _ := populatedSched(t)
+	st := src.ExportState()
+	st.Running[0].Ref = 42
+
+	dst, _, _ := newSched(t, Config{Policy: Elastic, Capacity: 16, RescaleGap: time.Minute})
+	if err := dst.RestoreState(st); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	// Mutating the snapshot after restore must not leak into the scheduler.
+	st.Running[0].Replicas = 999
+	back := dst.ExportState()
+	if back.Running[0].Replicas == 999 {
+		t.Error("restored scheduler aliases the snapshot's job records")
+	}
+	if back.Running[0].Ref != 42 {
+		t.Errorf("Ref not preserved: got %d, want 42", back.Running[0].Ref)
+	}
+}
+
+// TestRestoreStateValidation checks that inconsistent snapshots are
+// rejected with the scheduler unchanged.
+func TestRestoreStateValidation(t *testing.T) {
+	mk := func() SchedulerState {
+		src, _ := populatedSched(t)
+		return src.ExportState()
+	}
+	cases := map[string]func() SchedulerState{
+		"zero capacity": func() SchedulerState {
+			st := mk()
+			st.Capacity = 0
+			return st
+		},
+		"running without replicas": func() SchedulerState {
+			st := mk()
+			st.Running[0].Replicas = 0
+			return st
+		},
+		"running in queued state": func() SchedulerState {
+			st := mk()
+			st.Running[0].State = StateQueued
+			return st
+		},
+		"waiting with replicas": func() SchedulerState {
+			st := mk()
+			st.Queued[0].Replicas = 2
+			return st
+		},
+		"waiting in running state": func() SchedulerState {
+			st := mk()
+			st.Queued[0].State = StateRunning
+			return st
+		},
+		"over capacity": func() SchedulerState {
+			st := mk()
+			st.Capacity = 3
+			return st
+		},
+		"invalid job": func() SchedulerState {
+			st := mk()
+			st.Running[0].MinReplicas = 0
+			return st
+		},
+	}
+	for name, build := range cases {
+		t.Run(name, func(t *testing.T) {
+			dst, _, _ := newSched(t, Config{Policy: Elastic, Capacity: 16})
+			before := dst.ExportState()
+			if err := dst.RestoreState(build()); err == nil {
+				t.Fatal("invalid snapshot accepted")
+			}
+			if after := dst.ExportState(); !reflect.DeepEqual(before, after) {
+				t.Errorf("failed restore mutated the scheduler:\nbefore: %+v\nafter:  %+v", before, after)
+			}
+		})
+	}
+}
+
+// TestRestoreStateResumesScheduling checks that a restored scheduler is
+// live, not a display copy: completing a running job redistributes its
+// slots to the restored queue.
+func TestRestoreStateResumesScheduling(t *testing.T) {
+	src, _ := populatedSched(t)
+	st := src.ExportState()
+
+	dst, act, clk := newSched(t, Config{Policy: Elastic, Capacity: 16, RescaleGap: time.Minute})
+	if err := dst.RestoreState(st); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	clk.advance(time.Hour) // clear every rescale gap
+	queuedBefore := dst.NumQueued()
+	back := dst.ExportState()
+	// Complete via the restored scheduler's own record: look it up by ID.
+	dst.OnJobComplete(findRestoredJob(t, dst, back.Running[0].ID))
+	if dst.NumQueued() >= queuedBefore && act.starts == 0 && act.expands == 0 {
+		t.Error("completion on a restored scheduler triggered no scheduling")
+	}
+}
+
+// findRestoredJob digs the scheduler's own *Job out through the actuator
+// path: Reschedule touches running jobs via the actuator, but the simplest
+// stable handle is the running list itself.
+func findRestoredJob(t *testing.T, s *Scheduler, id string) *Job {
+	t.Helper()
+	for _, j := range s.Running() {
+		if j.ID == id {
+			return j
+		}
+	}
+	t.Fatalf("job %s not in restored running set", id)
+	return nil
+}

@@ -14,9 +14,12 @@ const DefaultHighPriority = 4
 // Config parameterizes a federation run.
 type Config struct {
 	// Members holds one simulator configuration per member cluster. Each
-	// member keeps its own capacity, rescale gap, availability trace, and
-	// streaming mode; the meta-scheduler never reaches inside a member
-	// beyond handing it its sub-workload. The first member's Machine also
+	// member keeps its own capacity, rescale gap, availability trace,
+	// streaming mode, and sharded execution mode (sim.Config.Shards — a
+	// member so configured runs its own event loop across time epochs,
+	// with results still bit-identical, composing with the Workers pool
+	// below); the meta-scheduler never reaches inside a member beyond
+	// handing it its sub-workload. The first member's Machine also
 	// calibrates the router's demand estimates.
 	Members []sim.Config
 	// Route is the job-routing policy across members.

@@ -336,3 +336,42 @@ func TestSweepShapesAndDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedMembersEquivalence pins the federation's side of the sharded
+// execution contract: a fleet whose members run their event loops sharded
+// (sim.Config.Shards) produces a federation Result bit-identical to the same
+// fleet running sequentially, under every routing policy, both with the
+// member pool sequential and parallel. The burst workload is dealt so every
+// member sees drained inter-wave gaps — real multi-epoch plans, not just the
+// planner's sequential fallback.
+func TestShardedMembersEquivalence(t *testing.T) {
+	w, err := (workload.Burst{Waves: 6, PerWave: 48, WaveGap: 9000}).Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, route := range AllRoutes() {
+		t.Run(route.String(), func(t *testing.T) {
+			run := func(shards, workers int) Result {
+				base := baseConfig()
+				base.Shards = shards
+				res, err := Run(Config{
+					Members:   Uniform(base, 3),
+					Route:     route,
+					RouteSeed: 9,
+					Workers:   workers,
+				}, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			seq := run(0, 1)
+			for _, workers := range []int{1, 0} {
+				if par := run(4, workers); !reflect.DeepEqual(seq, par) {
+					t.Fatalf("sharded members diverge (workers=%d):\nsequential: %+v\nsharded:    %+v",
+						workers, seq, par)
+				}
+			}
+		})
+	}
+}

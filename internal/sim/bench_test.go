@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"elastichpc/internal/core"
@@ -21,22 +23,40 @@ func burstBacklog(tb testing.TB, jobs int) Workload {
 }
 
 // BenchmarkSimMillionJobs is the headline scale benchmark: one million
-// bursty submissions through the elastic policy in streaming mode. The
-// pre-overhaul simulator sustained ~3.4k jobs/s on this workload (and held a
-// JobMetrics per job); the regression gate in CI tracks the current rate via
-// BENCH_BASELINE.json.
+// bursty submissions through the elastic policy in streaming mode, sharded
+// across every available core (Config.Shards = NumCPU; on a single-core
+// host that degrades to the sequential loop). The pre-overhaul simulator
+// sustained ~3.4k jobs/s on this workload (and held a JobMetrics per job);
+// the regression gate in CI tracks the current rate via BENCH_BASELINE.json.
 func BenchmarkSimMillionJobs(b *testing.B) {
-	benchSim(b, 1_000_000)
+	benchSim(b, 1_000_000, runtime.NumCPU())
 }
 
-// BenchmarkSim100kJobs is the same scenario at a tenth the scale — quick
-// enough for local iteration while exercising the identical code paths.
+// BenchmarkSim100kJobs is the same scenario at a tenth the scale on the
+// sequential loop — quick enough for local iteration while pinning the
+// single-threaded event-loop rate the sharded mode builds on.
 func BenchmarkSim100kJobs(b *testing.B) {
-	benchSim(b, 100_000)
+	benchSim(b, 100_000, 0)
 }
 
-func benchSim(b *testing.B, jobs int) {
-	benchSimAvail(b, jobs, burstBacklog(b, jobs), workload.AvailabilityTrace{})
+func benchSim(b *testing.B, jobs, shards int) {
+	benchSimAvail(b, jobs, burstBacklog(b, jobs), workload.AvailabilityTrace{}, shards)
+}
+
+// BenchmarkSimParallelScaling sweeps fixed shard counts over the headline
+// workload shape so the sharded mode's scaling curve is visible in CI's
+// BENCH_PR.json. The family is informational, not regression-gated: its
+// throughput depends on the runner's core count, which varies across CI
+// hosts, so the gate tracks only the NumCPU-sharded BenchmarkSimMillionJobs
+// above.
+func BenchmarkSimParallelScaling(b *testing.B) {
+	const jobs = 200_000
+	w := burstBacklog(b, jobs)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchSimAvail(b, jobs, w, workload.AvailabilityTrace{}, shards)
+		})
+	}
 }
 
 // BenchmarkSimAvailability is the dynamic-capacity scale benchmark: one
@@ -60,16 +80,17 @@ func BenchmarkSimAvailability(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	benchSimAvail(b, jobs, w, tr)
+	benchSimAvail(b, jobs, w, tr, 0)
 }
 
-func benchSimAvail(b *testing.B, jobs int, w Workload, tr workload.AvailabilityTrace) {
+func benchSimAvail(b *testing.B, jobs int, w Workload, tr workload.AvailabilityTrace, shards int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := DefaultConfig(core.Elastic)
 		cfg.Streaming = true
 		cfg.Availability = tr
+		cfg.Shards = shards
 		s, err := New(cfg)
 		if err != nil {
 			b.Fatal(err)

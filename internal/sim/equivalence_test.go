@@ -136,3 +136,124 @@ func TestIncrementalSchedulerEquivalenceExtensions(t *testing.T) {
 		})
 	}
 }
+
+// TestParallelShardingEquivalence pins the sharded execution mode's
+// contract: for every policy × workload shape × seed × shard count, the
+// sharded run produces the same decision sequence and a bit-identical
+// Result — every aggregate, per-job metric, and timeline — as the
+// sequential loop. Scenarios that offer no usable drain cut degrade to the
+// sequential path inside runSharded and must still match exactly.
+func TestParallelShardingEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		for name, sc := range equivalenceScenarios(t, seed) {
+			for _, p := range core.AllPolicies() {
+				for _, shards := range []int{3, 8} {
+					t.Run(fmt.Sprintf("%s/%s/seed%d/shards%d", name, p, seed, shards), func(t *testing.T) {
+						run := func(shards int, logDecisions bool) (Result, []core.Decision) {
+							cfg := DefaultConfig(p)
+							cfg.Availability = sc.tr
+							cfg.Shards = shards
+							cfg.LogDecisions = logDecisions
+							s, err := New(cfg)
+							if err != nil {
+								t.Fatal(err)
+							}
+							res, err := s.Run(sc.w)
+							if err != nil {
+								t.Fatal(err)
+							}
+							return res, s.Decisions()
+						}
+
+						_, seqDec := run(0, true)
+						_, parDec := run(shards, true)
+						if !reflect.DeepEqual(seqDec, parDec) {
+							t.Fatalf("decision sequences diverge: sequential %d entries, sharded %d",
+								len(seqDec), len(parDec))
+						}
+
+						seqRes, _ := run(0, false)
+						parRes, _ := run(shards, false)
+						if !reflect.DeepEqual(seqRes, parRes) {
+							t.Fatalf("results diverge:\nsequential: %+v\nsharded:    %+v", seqRes, parRes)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestParallelShardingEquivalenceStreaming repeats the sharded contract in
+// streaming mode on a workload large and bursty enough that the planner
+// produces a real multi-epoch plan and the boundaries genuinely drain —
+// the configuration the scale benchmarks run.
+func TestParallelShardingEquivalenceStreaming(t *testing.T) {
+	w, err := workload.Burst{Waves: 12, PerWave: 100, WaveGap: 20000}.Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plans := planEpochs(func() Config {
+		cfg := DefaultConfig(core.Elastic)
+		cfg.Shards = 8
+		return cfg
+	}(), w, submissionOrder(w)); len(plans) < 2 {
+		t.Fatalf("workload produced no multi-epoch plan (%d epochs) — scenario lost its point", len(plans))
+	}
+	for _, p := range core.AllPolicies() {
+		t.Run(p.String(), func(t *testing.T) {
+			run := func(shards int) Result {
+				cfg := DefaultConfig(p)
+				cfg.Streaming = true
+				cfg.Shards = shards
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Run(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			seq, par := run(0), run(8)
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("streaming results diverge:\nsequential: %+v\nsharded:    %+v", seq, par)
+			}
+		})
+	}
+}
+
+// TestParallelShardingEquivalenceExtensions repeats the sharded contract
+// with aging and preemption on — the configuration where kick coalescing
+// turns itself off and every scheduler pass depends on wall-clock priority
+// drift, so any cross-epoch clock skew would surface immediately.
+func TestParallelShardingEquivalenceExtensions(t *testing.T) {
+	w, err := workload.Burst{Waves: 4, PerWave: 30, WaveGap: 3000}.Generate(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []core.Policy{core.Elastic, core.RigidMin} {
+		t.Run(p.String(), func(t *testing.T) {
+			run := func(shards int) Result {
+				cfg := DefaultConfig(p)
+				cfg.AgingRate = 0.01
+				cfg.EnablePreemption = true
+				cfg.Shards = shards
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Run(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			seq, par := run(0), run(4)
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("results diverge with aging+preemption:\nsequential: %+v\nsharded:    %+v", seq, par)
+			}
+		})
+	}
+}

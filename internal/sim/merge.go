@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+
+	"elastichpc/internal/core"
+)
+
+// The sharded mode's merge must reproduce the sequential Result bit for
+// bit, and floating-point addition is not associative: summing each shard's
+// partial utilization integral would round differently from the sequential
+// left-to-right fold. The merge therefore never adds partial sums. Instead
+// every window records the exact terms it contributed to each
+// order-sensitive accumulator — the very float64 values the sequential loop
+// would have added, produced by the same expressions over the same inputs —
+// and the reconciliation pass replays them in segment order into one
+// continuous fold. Terms that are exactly +0.0 (idle-time utilization
+// advances, unforced overhead with no work lost) are identities under IEEE
+// addition on a non-negative accumulator, so the windows skip them and the
+// replayed fold still matches the sequential one bitwise. Integer counters
+// and float min/max (first start, last end) are exact under any grouping
+// and merge directly.
+
+// finTerm is one completed job's contribution to the weighted means.
+type finTerm struct {
+	w, wr, wc float64 // priority weight, weighted response, weighted completion
+}
+
+// ovhTerm is one rescale/restart's contribution to the overhead integrals.
+// lost is zero when the rescale was voluntary (policy-chosen), mirroring the
+// sequential loop, which adds nothing to WorkLostSec in that case.
+type ovhTerm struct {
+	area, lost float64
+}
+
+// runLog records a window's accumulator terms for the replay merge.
+type runLog struct {
+	util []float64
+	fin  []finTerm
+	ovh  []ovhTerm
+}
+
+// mergeSegments folds the reconciled segments — each a simulator that ran a
+// half-open stretch of the timeline bounded by fully drained instants —
+// into the facade simulator's accumulators and derives the Result. Segment
+// order is epoch order, so each per-accumulator replay is the sequential
+// term sequence.
+func (s *Simulator) mergeSegments(w Workload, segs []*Simulator) (Result, error) {
+	var cs core.CapacityStats
+	for _, sg := range segs {
+		for _, d := range sg.rec.util {
+			s.utilArea += d
+		}
+		for _, e := range sg.rec.ovh {
+			s.overheadArea += e.area
+			s.workLost += e.lost
+		}
+		for _, e := range sg.rec.fin {
+			s.wSum += e.w
+			s.wResp += e.wr
+			s.wComp += e.wc
+		}
+		s.completed += sg.completed
+		if sg.haveStart && (!s.haveStart || sg.firstStart < s.firstStart) {
+			s.haveStart = true
+			s.firstStart = sg.firstStart
+		}
+		if sg.lastEnd > s.lastEnd {
+			s.lastEnd = sg.lastEnd
+		}
+		s.capEvents += sg.capEvents
+		s.capSteps = append(s.capSteps, sg.capSteps...)
+		st := sg.sched.CapacityStats()
+		cs.ForcedShrinks += st.ForcedShrinks
+		cs.Requeues += st.Requeues
+		cs.SlotsReclaimed += st.SlotsReclaimed
+	}
+	if s.cfg.LogDecisions {
+		logs := make([][]core.Decision, len(segs))
+		for i, sg := range segs {
+			logs[i] = sg.sched.Log()
+		}
+		s.mergedDecisions = core.MergeLogs(logs...)
+	}
+	if s.completed != len(w.Jobs) {
+		for _, sg := range segs {
+			for _, sj := range sg.byRef {
+				if sj.job.State != core.StateCompleted {
+					return Result{Policy: s.cfg.Policy},
+						fmt.Errorf("sim: job %s ended in state %v", sj.job.ID, sj.job.State)
+				}
+			}
+		}
+		return Result{Policy: s.cfg.Policy},
+			fmt.Errorf("sim: %d of %d jobs completed", s.completed, len(w.Jobs))
+	}
+	res := s.resultFromTotals(cs, segs[len(segs)-1].sched.Capacity())
+	if !s.cfg.Streaming {
+		// Every job lives entirely inside one segment (segments are
+		// bounded by drained instants), so the retained records merge by
+		// concatenation in segment order.
+		res.Jobs = make([]JobMetrics, len(w.Jobs))
+		res.ReplicaTimelines = make(map[string][]ReplicaSample, len(w.Jobs))
+		var tl []UtilSample
+		for _, sg := range segs {
+			tl = append(tl, sg.utilTL...)
+			for _, sj := range sg.byRef {
+				res.Jobs[sj.widx] = sj.meta
+				res.ReplicaTimelines[sj.meta.ID] = sj.timeline
+			}
+		}
+		res.UtilTimeline = tl
+	}
+	return res, nil
+}

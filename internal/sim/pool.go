@@ -6,6 +6,106 @@ import (
 	"sync/atomic"
 )
 
+// event kinds in the DES queue. Submissions are not events: they stream from
+// a cursor over the workload, keeping the heap O(running jobs) deep.
+type evKind int
+
+const (
+	evComplete evKind = iota
+	evKick            // a rescale gap expired: re-run the scheduling pass
+)
+
+type event struct {
+	at   float64
+	kind evKind
+	job  *simJob
+	seq  int64 // completion-event validity token
+	ord  int64 // FIFO tie-break for equal timestamps
+}
+
+// before orders events by time, then push order.
+func (ev *event) before(o *event) bool {
+	if ev.at != o.at {
+		return ev.at < o.at
+	}
+	return ev.ord < o.ord
+}
+
+// eventHeap is a hand-rolled binary min-heap of pooled events (container/heap
+// costs an interface call per comparison on the simulator's hottest path).
+type eventHeap []*event
+
+func (h eventHeap) top() *event { return h[0] }
+
+func (h *eventHeap) push(ev *event) {
+	hh := append(*h, ev)
+	i := len(hh) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !hh[i].before(hh[p]) {
+			break
+		}
+		hh[i], hh[p] = hh[p], hh[i]
+		i = p
+	}
+	*h = hh
+}
+
+func (h *eventHeap) pop() *event {
+	hh := *h
+	top := hh[0]
+	n := len(hh) - 1
+	hh[0] = hh[n]
+	hh[n] = nil
+	hh = hh[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && hh[r].before(hh[c]) {
+			c = r
+		}
+		if !hh[c].before(hh[i]) {
+			break
+		}
+		hh[i], hh[c] = hh[c], hh[i]
+		i = c
+	}
+	*h = hh
+	return top
+}
+
+// eventPool recycles popped events so the event loop's steady state
+// allocates nothing per event. An event handed out by get must be returned
+// through put exactly once, after it has been popped from the heap — never
+// while the heap still references it (put clears the job pointer, so an
+// aliased live event would corrupt the schedule). Each Simulator owns one
+// pool; sharded runs give every shard its own, so no synchronization is
+// needed.
+type eventPool struct {
+	free []*event
+}
+
+// get hands out a zeroed-or-recycled event; the caller overwrites every
+// field before use.
+func (p *eventPool) get() *event {
+	if n := len(p.free); n > 0 {
+		ev := p.free[n-1]
+		p.free = p.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// put returns a popped event to the pool, dropping its job reference so a
+// pooled event can never pin (or be confused with) live schedule state.
+func (p *eventPool) put(ev *event) {
+	ev.job = nil
+	p.free = append(p.free, ev)
+}
+
 // RunTasks executes n independent tasks on a bounded worker pool and returns
 // the error of the lowest-indexed failing task (so the reported failure does
 // not depend on goroutine scheduling). workers <= 0 means runtime.NumCPU();

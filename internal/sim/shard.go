@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"elastichpc/internal/core"
+	"elastichpc/internal/model"
+)
+
+// Sharded execution: the event loop is partitioned in TIME, not across jobs.
+//
+// The submission order and the availability trace are cut into K epochs at
+// instants where the cluster is predicted to have fully drained (no running
+// jobs, no queue, no pending kick). Every epoch is then simulated
+// speculatively on its own goroutine under the guess that the prediction
+// holds — i.e. that the epoch starts from an empty cluster at the capacity
+// the trace has established by then. A sequential reconciliation pass walks
+// the epochs in order and checks each guess against the truth established so
+// far: if the live chain really is drained at the boundary, the speculative
+// epoch IS the sequential continuation (a deterministic event loop from
+// identical state over identical inputs) and is adopted wholesale; if the
+// backlog crossed the boundary, the speculative epoch is discarded and the
+// live chain's window is extended to re-execute it sequentially. The worst
+// case (no boundary ever drains) degrades to exactly the sequential run —
+// never to a wrong one.
+//
+// Why adoption is exact: a drained scheduler holds no jobs, its free-slot
+// count equals its capacity, its queue floor (minNeed) is at the +inf
+// sentinel, and its pending-kick clock is unarmed — all of which a freshly
+// constructed scheduler at the same capacity reproduces identically. The
+// only cross-boundary state is therefore the capacity in force, which the
+// planner hands each epoch via core.SchedulerState, and the accumulated
+// metrics, which merge exactly: integer counters and float min/max are
+// order-insensitive, and every order-sensitive float accumulator is merged
+// by replaying the per-window term logs (see merge.go), not by adding
+// partial sums. The scheduler's wall-clock caches cannot diverge either:
+// each epoch's scheduler clock is anchored to the same global epoch, and
+// time-dependent decisions (aging, gap checks) only consult jobs the epoch
+// itself submitted.
+//
+// The drain predictor is a fluid approximation — backlog accumulates each
+// submission's total compute demand and drains at the base capacity's rate —
+// and is allowed to be wrong in either direction: a missed drain only costs
+// parallelism, a falsely predicted drain is caught by the reconciliation
+// pass. Its only job is to place cuts where adoption is likely.
+
+// epochPlan is one epoch's share of the inputs.
+type epochPlan struct {
+	subLo, subHi int     // submission-order window [subLo, subHi)
+	capLo, capHi int     // availability-event window [capLo, capHi)
+	start        float64 // first submission instant; -Inf for epoch 0
+	startCap     int     // capacity the trace has established entering the epoch
+}
+
+// planHorizon is the event horizon for epoch k: the next epoch's start, or
+// +Inf for the last.
+func planHorizon(plans []epochPlan, k int) float64 {
+	if k+1 < len(plans) {
+		return plans[k+1].start
+	}
+	return math.Inf(1)
+}
+
+// planEpochs cuts the workload into at most cfg.Shards epochs at predicted
+// drain instants, spreading the cuts toward equal submission counts. One
+// plan covering everything is returned when the workload offers no usable
+// cut (the caller then runs the plain sequential loop).
+func planEpochs(cfg Config, w Workload, order []int32) []epochPlan {
+	n := len(order)
+	avail := cfg.Availability.Events
+	whole := []epochPlan{{
+		subLo: 0, subHi: n,
+		capLo: 0, capHi: len(avail),
+		start: math.Inf(-1), startCap: cfg.Capacity,
+	}}
+	if cfg.Shards <= 1 || n < 2 {
+		return whole
+	}
+
+	// Fluid drain estimate: each submission batch adds its jobs' total
+	// compute demand (steps × iteration time × replicas, at the replica
+	// count the policy favors) to a backlog that drains at the base
+	// capacity's rate. A cut is a candidate wherever the backlog hits zero
+	// before the next distinct submission instant.
+	specs := model.Specs()
+	capRate := float64(cfg.Capacity)
+	var cuts []int // candidate epoch-start positions in order, ascending
+	backlog := 0.0
+	tPrev := w.Jobs[order[0]].SubmitAt
+	for i := 0; i < n; {
+		t := w.Jobs[order[i]].SubmitAt
+		if i > 0 {
+			backlog -= capRate * (t - tPrev)
+			if backlog <= 0 {
+				backlog = 0
+				cuts = append(cuts, i)
+			}
+		}
+		for i < n && w.Jobs[order[i]].SubmitAt == t {
+			spec := specs[w.Jobs[order[i]].Class]
+			r := spec.MaxReplicas
+			if cfg.Policy == core.RigidMin {
+				r = spec.MinReplicas
+			}
+			if r > cfg.Capacity {
+				r = cfg.Capacity
+			}
+			if r < 1 {
+				r = 1
+			}
+			backlog += float64(spec.Steps) * cfg.Machine.IterTime(spec.Grid, r) * float64(r)
+			i++
+		}
+		tPrev = t
+	}
+	if len(cuts) == 0 {
+		return whole
+	}
+
+	// Pick, for each equal-count target k·n/K, the nearest candidate cut
+	// past the previous pick; strictly increasing picks keep every epoch
+	// non-empty.
+	chosen := make([]int, 0, cfg.Shards-1)
+	prev := 0
+	for k := 1; k < cfg.Shards; k++ {
+		target := k * n / cfg.Shards
+		pos := sort.SearchInts(cuts, target)
+		best := -1
+		if pos < len(cuts) {
+			best = cuts[pos]
+		}
+		if pos > 0 {
+			if lo := cuts[pos-1]; lo > prev && (best < 0 || target-lo <= best-target) {
+				best = lo
+			}
+		}
+		if best <= prev {
+			continue
+		}
+		chosen = append(chosen, best)
+		prev = best
+	}
+	if len(chosen) == 0 {
+		return whole
+	}
+
+	bounds := append([]int{0}, chosen...)
+	plans := make([]epochPlan, len(bounds))
+	for k, lo := range bounds {
+		hi := n
+		if k+1 < len(bounds) {
+			hi = bounds[k+1]
+		}
+		start := math.Inf(-1)
+		if lo > 0 {
+			start = w.Jobs[order[lo]].SubmitAt
+		}
+		plans[k] = epochPlan{subLo: lo, subHi: hi, start: start}
+	}
+	// Availability partition: epoch k owns the events with At in
+	// [start_k, start_{k+1}) — an event landing exactly on a boundary
+	// belongs to the successor, where it applies before the first
+	// submission, just as the sequential equal-timestamp rule orders it.
+	ci := 0
+	for k := range plans {
+		plans[k].capLo = ci
+		end := planHorizon(plans, k)
+		for ci < len(avail) && avail[ci].At < end {
+			ci++
+		}
+		plans[k].capHi = ci
+		if plans[k].capLo == 0 {
+			plans[k].startCap = cfg.Capacity
+		} else {
+			plans[k].startCap = avail[plans[k].capLo-1].Capacity
+		}
+	}
+	return plans
+}
+
+// boundaryIdle reports whether the simulator's state at its window horizon
+// matches the successor epoch's speculative starting guess: cluster fully
+// drained and no kick pending. (The window cursors are always exhausted
+// when a non-final runWindow returns; superseded kick events still parked
+// in the heap carry no state.) A stale kick armed past the horizon keeps
+// the boundary conservative — the successor is then re-executed, which
+// resolves the kick exactly as the sequential loop would.
+func (s *Simulator) boundaryIdle() bool {
+	return s.sched.NumRunning() == 0 && s.sched.NumQueued() == 0 && s.kickAt < 0
+}
+
+// runSharded executes Run's sharded mode: plan, speculate in parallel,
+// reconcile sequentially, merge exactly. See the package comment above for
+// why the result is bit-identical to the sequential loop.
+func (s *Simulator) runSharded(w Workload) (Result, error) {
+	order := submissionOrder(w)
+	ranks := submissionRanks(w, order)
+	specs := model.Specs()
+	plans := s.testPlans
+	if plans == nil {
+		plans = planEpochs(s.cfg, w, order)
+	}
+	if len(plans) == 1 {
+		// No usable cut: run the plain sequential loop in place.
+		s.prepare(w, order, ranks, specs,
+			0, len(w.Jobs), 0, len(s.cfg.Availability.Events), math.Inf(1), true)
+		if err := s.runWindow(); err != nil {
+			return Result{}, err
+		}
+		return s.collect(w)
+	}
+
+	sims := make([]*Simulator, len(plans))
+	for k, pl := range plans {
+		cfg := s.cfg
+		cfg.Shards = 0
+		sub, err := New(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		if pl.startCap != cfg.Capacity {
+			// Seed the epoch's scheduler with the capacity the trace has
+			// established at the boundary — the one piece of cross-epoch
+			// scheduler state. No decisions are logged by the restore.
+			if err := sub.sched.RestoreState(core.SchedulerState{Capacity: pl.startCap}); err != nil {
+				return Result{}, err
+			}
+		}
+		sub.rec = &runLog{}
+		sub.prepare(w, order, ranks, specs,
+			pl.subLo, pl.subHi, pl.capLo, pl.capHi,
+			planHorizon(plans, k), k == len(plans)-1)
+		sims[k] = sub
+	}
+
+	// Speculate: every epoch runs concurrently from its guessed start state.
+	// Errors are held per epoch — a speculative failure only matters if the
+	// reconciliation pass adopts that epoch (otherwise it is re-executed).
+	errs := make([]error, len(sims))
+	_ = RunTasks(len(sims), len(sims), func(i int) error {
+		errs[i] = sims[i].runWindow()
+		return nil
+	})
+
+	// Reconcile: walk the boundaries in order. The live chain starts as
+	// epoch 0 (whose start state is exact by construction) and either hands
+	// off to the next speculative epoch (boundary drained — the guess was
+	// the truth) or absorbs its window and re-executes it sequentially.
+	live, liveErr := sims[0], errs[0]
+	segs := make([]*Simulator, 0, len(sims))
+	for k := 1; k < len(sims); k++ {
+		if liveErr != nil {
+			return Result{}, liveErr
+		}
+		if live.boundaryIdle() {
+			segs = append(segs, live)
+			live, liveErr = sims[k], errs[k]
+			continue
+		}
+		live.extend(plans[k].subHi, plans[k].capHi,
+			planHorizon(plans, k), k == len(plans)-1)
+		liveErr = live.runWindow()
+	}
+	if liveErr != nil {
+		return Result{}, liveErr
+	}
+	segs = append(segs, live)
+	return s.mergeSegments(w, segs)
+}

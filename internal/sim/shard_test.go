@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"elastichpc/internal/core"
+	"elastichpc/internal/model"
+	"elastichpc/internal/workload"
+)
+
+// waveStartPlans cuts a workload at every distinct submission instant —
+// boundaries a persistent backlog is guaranteed to cross, so adopting any
+// of them would be wrong and the reconciliation pass must re-execute every
+// epoch through the live chain.
+func waveStartPlans(w Workload, order []int32, capacity int) []epochPlan {
+	var plans []epochPlan
+	for i := range order {
+		if i == 0 {
+			plans = append(plans, epochPlan{start: math.Inf(-1), startCap: capacity})
+			continue
+		}
+		if w.Jobs[order[i]].SubmitAt != w.Jobs[order[i-1]].SubmitAt {
+			plans[len(plans)-1].subHi = i
+			plans = append(plans, epochPlan{
+				subLo: i, start: w.Jobs[order[i]].SubmitAt, startCap: capacity,
+			})
+		}
+	}
+	plans[len(plans)-1].subHi = len(order)
+	return plans
+}
+
+// TestParallelForcedReexecution pins the reconciliation pass's slow path:
+// with cut points planted at every wave start of a workload whose backlog
+// never drains between waves, no speculative epoch can be adopted, and the
+// run must still reproduce the sequential decisions and Result exactly via
+// chained re-execution.
+func TestParallelForcedReexecution(t *testing.T) {
+	w, err := workload.Burst{Waves: 4, PerWave: 50, WaveGap: 500}.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range core.AllPolicies() {
+		t.Run(p.String(), func(t *testing.T) {
+			run := func(sharded bool) (Result, []core.Decision) {
+				cfg := DefaultConfig(p)
+				cfg.LogDecisions = true
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sharded {
+					plans := waveStartPlans(w, submissionOrder(w), cfg.Capacity)
+					if len(plans) < 2 {
+						t.Fatalf("workload produced %d wave epochs", len(plans))
+					}
+					cfg.Shards = len(plans)
+					s, err = New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					s.testPlans = plans
+				}
+				res, err := s.Run(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, s.Decisions()
+			}
+			seqRes, seqDec := run(false)
+			parRes, parDec := run(true)
+			if !reflect.DeepEqual(seqDec, parDec) {
+				t.Fatalf("decision sequences diverge: sequential %d entries, sharded %d",
+					len(seqDec), len(parDec))
+			}
+			if !reflect.DeepEqual(seqRes, parRes) {
+				t.Fatalf("results diverge:\nsequential: %+v\nsharded:    %+v", seqRes, parRes)
+			}
+		})
+	}
+}
+
+// TestPlanEpochsPartition checks the planner's structural invariants: the
+// epochs partition the submission order and the availability trace exactly,
+// start instants strictly increase, each epoch's starting capacity is the
+// last preceding trace event's, and the epoch count never exceeds the
+// requested shard count.
+func TestPlanEpochsPartition(t *testing.T) {
+	w, err := workload.Burst{Waves: 20, PerWave: 100, WaveGap: 25000}.Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := w.Span() + 3600
+	tr, err := workload.MaintenanceDrain{Every: span / 40, Duration: span / 80, Keep: 48}.Events(7, 64, span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := submissionOrder(w)
+	for _, shards := range []int{1, 2, 4, 8, 64} {
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			cfg := DefaultConfig(core.Elastic)
+			cfg.Availability = tr
+			cfg.Shards = shards
+			plans := planEpochs(cfg, w, order)
+			if shards == 1 && len(plans) != 1 {
+				t.Fatalf("shards=1 produced %d epochs", len(plans))
+			}
+			if len(plans) > shards {
+				t.Fatalf("%d epochs exceed %d shards", len(plans), shards)
+			}
+			if plans[0].subLo != 0 || plans[len(plans)-1].subHi != len(w.Jobs) {
+				t.Fatalf("submission windows do not span the workload: %+v", plans)
+			}
+			if plans[0].capLo != 0 || plans[len(plans)-1].capHi != len(tr.Events) {
+				t.Fatalf("capacity windows do not span the trace: %+v", plans)
+			}
+			for k := 1; k < len(plans); k++ {
+				prev, cur := plans[k-1], plans[k]
+				if cur.subLo != prev.subHi || cur.capLo != prev.capHi {
+					t.Fatalf("epoch %d is not contiguous with its predecessor: %+v / %+v", k, prev, cur)
+				}
+				if cur.subLo >= cur.subHi {
+					t.Fatalf("epoch %d is empty: %+v", k, cur)
+				}
+				if !(cur.start > prev.start) {
+					t.Fatalf("epoch %d start %v does not increase past %v", k, cur.start, prev.start)
+				}
+				if cur.start != w.Jobs[order[cur.subLo]].SubmitAt {
+					t.Fatalf("epoch %d start %v is not its first submission instant", k, cur.start)
+				}
+				want := cfg.Capacity
+				if cur.capLo > 0 {
+					want = tr.Events[cur.capLo-1].Capacity
+				}
+				if cur.startCap != want {
+					t.Fatalf("epoch %d startCap %d, want %d", k, cur.startCap, want)
+				}
+				// Every event in the window belongs to [start_k, start_{k+1}).
+				end := planHorizon(plans, k)
+				for _, ev := range tr.Events[cur.capLo:cur.capHi] {
+					if ev.At < cur.start || ev.At >= end {
+						t.Fatalf("epoch %d owns event at %v outside [%v, %v)", k, ev.At, cur.start, end)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSubmissionRanksOrder is the property the IDRank interning must hold:
+// sorting jobs by (submission instant, rank) with a rank tie falling back
+// to the ID must order them exactly like (submission instant, ID) — the
+// scheduler comparator's historical tie-break.
+func TestSubmissionRanksOrder(t *testing.T) {
+	check := func(t *testing.T, w Workload) {
+		t.Helper()
+		order := submissionOrder(w)
+		ranks := submissionRanks(w, order)
+		byRank := append([]int32(nil), order...)
+		sort.SliceStable(byRank, func(a, b int) bool {
+			ja, jb := &w.Jobs[byRank[a]], &w.Jobs[byRank[b]]
+			ta, tb := model.Duration(ja.SubmitAt), model.Duration(jb.SubmitAt)
+			if ta != tb {
+				return ta < tb
+			}
+			if ra, rb := ranks[byRank[a]], ranks[byRank[b]]; ra != rb {
+				return ra < rb
+			}
+			return ja.ID < jb.ID
+		})
+		byID := append([]int32(nil), order...)
+		sort.SliceStable(byID, func(a, b int) bool {
+			ja, jb := &w.Jobs[byID[a]], &w.Jobs[byID[b]]
+			ta, tb := model.Duration(ja.SubmitAt), model.Duration(jb.SubmitAt)
+			if ta != tb {
+				return ta < tb
+			}
+			return ja.ID < jb.ID
+		})
+		for i := range byRank {
+			if w.Jobs[byRank[i]].ID != w.Jobs[byID[i]].ID {
+				t.Fatalf("rank order diverges from ID order at %d: %s vs %s",
+					i, w.Jobs[byRank[i]].ID, w.Jobs[byID[i]].ID)
+			}
+		}
+	}
+
+	for _, seed := range []int64{1, 2, 3} {
+		w, err := (workload.Burst{Waves: 5, PerWave: 40, WaveGap: 900}).Generate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(fmt.Sprintf("burst/seed%d", seed), func(t *testing.T) { check(t, w) })
+	}
+
+	t.Run("duplicate-ids", func(t *testing.T) {
+		w, err := (workload.Burst{Waves: 1, PerWave: 20, WaveGap: 600}).Generate(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range w.Jobs {
+			w.Jobs[i].ID = "same"
+		}
+		order := submissionOrder(w)
+		for widx, r := range submissionRanks(w, order) {
+			if r != 0 {
+				t.Fatalf("duplicate-ID group got nonzero rank %d at job %d", r, widx)
+			}
+		}
+	})
+
+	t.Run("ids-vs-workload-order", func(t *testing.T) {
+		// IDs sorted opposite to workload order at one instant: ranks must
+		// follow the IDs, not the submission indices.
+		w, err := (workload.Burst{Waves: 1, PerWave: 10, WaveGap: 600}).Generate(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range w.Jobs {
+			w.Jobs[i].ID = fmt.Sprintf("j%02d", len(w.Jobs)-1-i)
+		}
+		check(t, w)
+		order := submissionOrder(w)
+		ranks := submissionRanks(w, order)
+		for i := range w.Jobs {
+			want := int32(len(w.Jobs) - 1 - i)
+			if ranks[i] != want {
+				t.Fatalf("job %d (%s): rank %d, want %d", i, w.Jobs[i].ID, ranks[i], want)
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -141,6 +142,19 @@ type Config struct {
 	// equivalence tests run against. Decisions and results are identical
 	// either way; this is strictly slower.
 	FullRedistribute bool
+	// Shards selects the sharded execution mode: the workload's submission
+	// cursor and the availability trace are deterministically partitioned
+	// into up to Shards time epochs cut at predicted cluster-drain
+	// boundaries, every epoch is simulated speculatively on its own
+	// goroutine from an empty-cluster guess, and a sequential
+	// reconciliation pass adopts each epoch whose guess held — re-executing
+	// (only) the epochs downstream of a boundary the backlog actually
+	// crossed. Decision sequences and Results are bit-identical to the
+	// sequential mode (see shard.go for the contract and why the merge is
+	// exact). 0 or 1 runs the classic sequential loop; values above the
+	// epoch-cut opportunities the workload offers degrade gracefully to
+	// fewer shards.
+	Shards int
 	// Extensions (all default off, matching the paper's §3.2.1 policy).
 	JobOverheadSlots int
 	AgingRate        float64
@@ -152,77 +166,6 @@ type Config struct {
 // DefaultConfig matches the paper's evaluation setup.
 func DefaultConfig(p core.Policy) Config {
 	return Config{Policy: p, Capacity: 64, RescaleGap: 180, Machine: model.DefaultMachine()}
-}
-
-// event kinds in the DES queue. Submissions are not events: they stream from
-// a cursor over the workload, keeping the heap O(running jobs) deep.
-type evKind int
-
-const (
-	evComplete evKind = iota
-	evKick            // a rescale gap expired: re-run the scheduling pass
-)
-
-type event struct {
-	at   float64
-	kind evKind
-	job  *simJob
-	seq  int64 // completion-event validity token
-	ord  int64 // FIFO tie-break for equal timestamps
-}
-
-// before orders events by time, then push order.
-func (ev *event) before(o *event) bool {
-	if ev.at != o.at {
-		return ev.at < o.at
-	}
-	return ev.ord < o.ord
-}
-
-// eventHeap is a hand-rolled binary min-heap of pooled events (container/heap
-// costs an interface call per comparison on the simulator's hottest path).
-type eventHeap []*event
-
-func (h eventHeap) top() *event { return h[0] }
-
-func (h *eventHeap) push(ev *event) {
-	hh := append(*h, ev)
-	i := len(hh) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if !hh[i].before(hh[p]) {
-			break
-		}
-		hh[i], hh[p] = hh[p], hh[i]
-		i = p
-	}
-	*h = hh
-}
-
-func (h *eventHeap) pop() *event {
-	hh := *h
-	top := hh[0]
-	n := len(hh) - 1
-	hh[0] = hh[n]
-	hh[n] = nil
-	hh = hh[:n]
-	i := 0
-	for {
-		c := 2*i + 1
-		if c >= n {
-			break
-		}
-		if r := c + 1; r < n && hh[r].before(hh[c]) {
-			c = r
-		}
-		if !hh[c].before(hh[i]) {
-			break
-		}
-		hh[i], hh[c] = hh[c], hh[i]
-		i = c
-	}
-	*h = hh
-	return top
 }
 
 // simJob tracks a job's simulated execution state. The scheduler's core.Job
@@ -265,10 +208,39 @@ type Simulator struct {
 
 	// Pools: recycled events, the simJob slab, and (in streaming mode)
 	// completed-job records ready for reuse.
-	freeEvents []*event
-	slab       []simJob
-	slabUsed   int
-	freeJobs   []*simJob
+	evPool   eventPool
+	slab     []simJob
+	slabUsed int
+	freeJobs []*simJob
+
+	// Cursor window (set by prepare, consumed by runWindow). A sequential
+	// run owns the whole workload and trace with an infinite horizon; a
+	// shard owns one epoch's slice of each, and reconciliation extends the
+	// window of a simulator that must re-execute its successor epoch.
+	w          Workload
+	order      []int32 // submission order (shared, read-only across shards)
+	ranks      []int32 // per-widx ID tie-break ranks (shared, read-only)
+	specs      map[model.Class]model.Spec
+	cursor     int     // next submission index in order
+	subHi      int     // submission window end (exclusive)
+	capi       int     // next availability-trace index
+	capHi      int     // availability window end (exclusive)
+	horizon    float64 // stop before heap events at or past this instant
+	final      bool    // last window: trailing capacity events are skipped
+	deferKicks bool
+	processed  int
+	limit      int
+
+	// rec, when non-nil, logs the exact floating-point terms this window
+	// adds to each order-sensitive accumulator so a sharded run can replay
+	// them into one bit-identical sequential fold (see merge.go).
+	rec *runLog
+	// mergedDecisions overrides Decisions() after a sharded run.
+	mergedDecisions []core.Decision
+	// testPlans overrides the epoch planner (tests only): it pins cut
+	// points the fluid predictor would not choose, e.g. boundaries that are
+	// guaranteed not to drain, to exercise the re-execution path.
+	testPlans []epochPlan
 
 	used     int
 	utilTL   []UtilSample
@@ -366,6 +338,9 @@ func (s *Simulator) newSimJob(js *JobSpec, spec model.Spec, widx int32) *simJob 
 		MaxReplicas: spec.MaxReplicas,
 		SubmitTime:  epoch.Add(model.Duration(js.SubmitAt)),
 	}
+	if s.ranks != nil {
+		sj.job.IDRank = s.ranks[widx]
+	}
 	if sj.job.MaxReplicas > s.cfg.Capacity {
 		sj.job.MaxReplicas = s.cfg.Capacity
 	}
@@ -375,13 +350,7 @@ func (s *Simulator) newSimJob(js *JobSpec, spec model.Spec, widx int32) *simJob 
 
 // push arms a pooled event.
 func (s *Simulator) push(at float64, kind evKind, job *simJob, seq int64) {
-	var ev *event
-	if n := len(s.freeEvents); n > 0 {
-		ev = s.freeEvents[n-1]
-		s.freeEvents = s.freeEvents[:n-1]
-	} else {
-		ev = &event{}
-	}
+	ev := s.evPool.get()
 	s.ord++
 	*ev = event{at: at, kind: kind, job: job, seq: seq, ord: s.ord}
 	s.events.push(ev)
@@ -389,8 +358,7 @@ func (s *Simulator) push(at float64, kind evKind, job *simJob, seq int64) {
 
 // recycleEvent returns a popped event to the pool.
 func (s *Simulator) recycleEvent(ev *event) {
-	ev.job = nil
-	s.freeEvents = append(s.freeEvents, ev)
+	s.evPool.put(ev)
 }
 
 // Run simulates the workload to completion and returns the metrics.
@@ -400,29 +368,95 @@ func (s *Simulator) recycleEvent(ev *event) {
 // order), then completions and kicks (in push order) — so a capacity drop
 // and a submission at the same instant always see the drop land before the
 // job is placed, and replaying the same trace is bit-for-bit reproducible.
+//
+// With Config.Shards > 1 the run executes in the sharded mode (see
+// shard.go); decisions and the Result are bit-identical to the sequential
+// mode either way.
 func (s *Simulator) Run(w Workload) (Result, error) {
-	n := len(w.Jobs)
-	// Submission cursor: indices in stable submission-time order. Equal
-	// submission times keep workload order, and submissions sort before
-	// same-instant completions/kicks — exactly the order the former
-	// pre-pushed submission events produced.
-	order := make([]int32, n)
+	if err := s.cfg.Availability.Validate(); err != nil {
+		return Result{}, err
+	}
+	if s.cfg.Shards > 1 {
+		return s.runSharded(w)
+	}
+	order := submissionOrder(w)
+	s.prepare(w, order, submissionRanks(w, order), model.Specs(),
+		0, len(w.Jobs), 0, len(s.cfg.Availability.Events), math.Inf(1), true)
+	if err := s.runWindow(); err != nil {
+		return Result{}, err
+	}
+	return s.collect(w)
+}
+
+// submissionOrder returns the workload's indices in stable submission-time
+// order: equal submission times keep workload order, and submissions sort
+// before same-instant completions/kicks — exactly the order the former
+// pre-pushed submission events produced.
+func submissionOrder(w Workload) []int32 {
+	order := make([]int32, len(w.Jobs))
 	for i := range order {
 		order[i] = int32(i)
 	}
 	sort.SliceStable(order, func(a, b int) bool {
 		return w.Jobs[order[a]].SubmitAt < w.Jobs[order[b]].SubmitAt
 	})
-	specs := model.Specs()
+	return order
+}
 
-	// Capacity cursor: availability events stream from the validated
-	// trace the same way submissions do, so the heap stays O(running).
-	avail := s.cfg.Availability.Events
-	if err := s.cfg.Availability.Validate(); err != nil {
-		return Result{}, err
+// submissionRanks interns the ID tie-break for the scheduler's comparator:
+// within each group of jobs sharing a submission instant (at the scheduler's
+// nanosecond clock resolution, the only granularity at which the ID
+// tie-break can fire) the IDs are sorted once and each job gets its sort
+// position as core.Job.IDRank, turning every hot-path tie-break from a
+// string compare into an integer compare with identical ordering. Groups
+// containing duplicate IDs are left at rank zero so the comparator falls
+// back to the sequential string compare.
+func submissionRanks(w Workload, order []int32) []int32 {
+	ranks := make([]int32, len(w.Jobs))
+	var group []int32
+	for i := 0; i < len(order); {
+		at := model.Duration(w.Jobs[order[i]].SubmitAt)
+		j := i + 1
+		for j < len(order) && model.Duration(w.Jobs[order[j]].SubmitAt) == at {
+			j++
+		}
+		if j-i > 1 {
+			group = append(group[:0], order[i:j]...)
+			sort.Slice(group, func(a, b int) bool {
+				return w.Jobs[group[a]].ID < w.Jobs[group[b]].ID
+			})
+			dup := false
+			for k := 1; k < len(group); k++ {
+				if w.Jobs[group[k]].ID == w.Jobs[group[k-1]].ID {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				for r, widx := range group {
+					ranks[widx] = int32(r)
+				}
+			}
+		}
+		i = j
 	}
-	capi := 0
+	return ranks
+}
 
+// prepare installs a cursor window: the submission indices [subLo, subHi)
+// of order, the availability events [capLo, capHi), and an event horizon.
+// ranks may be nil (no ID-rank interning). A sequential run owns the whole
+// workload with an infinite horizon.
+func (s *Simulator) prepare(w Workload, order, ranks []int32, specs map[model.Class]model.Spec,
+	subLo, subHi, capLo, capHi int, horizon float64, final bool) {
+	s.w = w
+	s.order = order
+	s.ranks = ranks
+	s.specs = specs
+	s.cursor, s.subHi = subLo, subHi
+	s.capi, s.capHi = capLo, capHi
+	s.horizon = horizon
+	s.final = final
 	// Equal-timestamp events coalesce into one scheduler pass: the kick
 	// re-arm (an O(running) gap scan) runs once per batch instead of per
 	// event. Mid-batch state can only matter to a kick when priorities
@@ -432,29 +466,48 @@ func (s *Simulator) Run(w Workload) (Result, error) {
 	// historical sequence exactly. The audit log also sees mid-batch kicks
 	// (a no-op Reschedule still logs its re-enqueue wave), so LogDecisions
 	// keeps per-event arming too.
-	deferKicks := s.cfg.AgingRate == 0 && !s.cfg.EnablePreemption &&
+	s.deferKicks = s.cfg.AgingRate == 0 && !s.cfg.EnablePreemption &&
 		s.cfg.CostBenefit == nil && !s.cfg.LogDecisions
+	s.limit = 5_000_000 + 64*len(w.Jobs) + 16*len(s.cfg.Availability.Events)
+}
 
-	cursor := 0
-	processed := 0
-	limit := 5_000_000 + 64*n + 16*len(avail)
+// extend grows the window to cover the next epoch — the reconciliation
+// pass's re-execution step when a backlog crossed an epoch boundary.
+func (s *Simulator) extend(subHi, capHi int, horizon float64, final bool) {
+	s.subHi = subHi
+	s.capHi = capHi
+	s.horizon = horizon
+	s.final = final
+}
+
+// runWindow drives the event loop over the prepared cursor window until the
+// window's submissions and capacity events are consumed and no heap event
+// remains before the horizon. A non-final window force-applies its trailing
+// capacity events even after its own work has drained (sequentially they
+// would apply while later submissions are still pending); the final window
+// skips them, exactly like the historical sequential loop.
+func (s *Simulator) runWindow() error {
+	w := s.w
+	avail := s.cfg.Availability.Events
 	for {
-		if capi < len(avail) &&
-			(cursor < n || len(s.events) > 0 || s.sched.NumRunning() > 0 || s.sched.NumQueued() > 0) {
+		if s.capi < s.capHi &&
+			(!s.final || s.cursor < s.subHi || len(s.events) > 0 ||
+				s.sched.NumRunning() > 0 || s.sched.NumQueued() > 0) {
 			// Trailing capacity events after all work has drained are
-			// skipped (the guard above): they cannot affect any metric.
-			at := avail[capi].At
-			if (cursor >= n || at <= w.Jobs[order[cursor]].SubmitAt) &&
+			// skipped in the final window (the guard above): they cannot
+			// affect any metric.
+			at := avail[s.capi].At
+			if (s.cursor >= s.subHi || at <= w.Jobs[s.order[s.cursor]].SubmitAt) &&
 				(len(s.events) == 0 || at <= s.events.top().at) {
 				s.advanceTo(at)
 				for {
-					ev := avail[capi]
-					capi++
-					processed++
+					ev := avail[s.capi]
+					s.capi++
+					s.processed++
 					if err := s.applyCapacity(ev.Capacity); err != nil {
-						return Result{}, err
+						return err
 					}
-					if !deferKicks || capi >= len(avail) || avail[capi].At != at {
+					if !s.deferKicks || s.capi >= s.capHi || avail[s.capi].At != at {
 						break
 					}
 				}
@@ -462,20 +515,20 @@ func (s *Simulator) Run(w Workload) (Result, error) {
 				continue
 			}
 		}
-		if cursor < n {
-			at := w.Jobs[order[cursor]].SubmitAt
+		if s.cursor < s.subHi {
+			at := w.Jobs[s.order[s.cursor]].SubmitAt
 			if len(s.events) == 0 || at <= s.events.top().at {
 				s.advanceTo(at)
 				for {
-					widx := order[cursor]
+					widx := s.order[s.cursor]
 					js := &w.Jobs[widx]
-					cursor++
-					processed++
-					sj := s.newSimJob(js, specs[js.Class], widx)
+					s.cursor++
+					s.processed++
+					sj := s.newSimJob(js, s.specs[js.Class], widx)
 					if err := s.sched.Submit(&sj.job); err != nil {
-						return Result{}, err
+						return err
 					}
-					if !deferKicks || cursor >= n || w.Jobs[order[cursor]].SubmitAt != at {
+					if !s.deferKicks || s.cursor >= s.subHi || w.Jobs[s.order[s.cursor]].SubmitAt != at {
 						break
 					}
 				}
@@ -483,14 +536,18 @@ func (s *Simulator) Run(w Workload) (Result, error) {
 				continue
 			}
 		}
-		if len(s.events) == 0 {
-			break
+		if len(s.events) == 0 || s.events.top().at >= s.horizon {
+			// Window drained: nothing left before the horizon. Heap
+			// events at or past it (stale kicks, at most) belong to the
+			// successor epoch's timeline and are resolved by the
+			// reconciliation pass.
+			return nil
 		}
-		processed++
-		if processed > limit {
+		s.processed++
+		if s.processed > s.limit {
 			// Defensive: a finite workload must settle in far fewer
 			// events; fail loudly rather than spin.
-			return Result{}, fmt.Errorf("sim: runaway event loop at t=%.1f: %d running, %d queued, %d heap",
+			return fmt.Errorf("sim: runaway event loop at t=%.1f: %d running, %d queued, %d heap",
 				s.now, s.sched.NumRunning(), s.sched.NumQueued(), len(s.events))
 		}
 		ev := s.events.pop()
@@ -530,7 +587,6 @@ func (s *Simulator) Run(w Workload) (Result, error) {
 		s.recycleEvent(ev)
 		s.scheduleKick()
 	}
-	return s.collect(w)
 }
 
 // finish folds a completed job into the aggregate metrics and, in streaming
@@ -543,9 +599,14 @@ func (s *Simulator) finish(sj *simJob) {
 		s.lastEnd = m.EndAt
 	}
 	wgt := float64(m.Priority)
+	wr := wgt * m.ResponseTime
+	wc := wgt * m.CompletionTime
 	s.wSum += wgt
-	s.wResp += wgt * m.ResponseTime
-	s.wComp += wgt * m.CompletionTime
+	s.wResp += wr
+	s.wComp += wc
+	if s.rec != nil {
+		s.rec.fin = append(s.rec.fin, finTerm{w: wgt, wr: wr, wc: wc})
+	}
 	s.completed++
 	if s.cfg.Streaming {
 		s.freeJobs = append(s.freeJobs, sj)
@@ -553,8 +614,15 @@ func (s *Simulator) finish(sj *simJob) {
 }
 
 // Decisions returns the scheduler's decision log, oldest first. Empty unless
-// Config.LogDecisions is set.
-func (s *Simulator) Decisions() []core.Decision { return s.sched.Log() }
+// Config.LogDecisions is set. After a sharded run the segments' logs are
+// merged in epoch order with the same bounded-ring semantics (newest 100k),
+// so the log is identical to the sequential mode's.
+func (s *Simulator) Decisions() []core.Decision {
+	if s.mergedDecisions != nil {
+		return s.mergedDecisions
+	}
+	return s.sched.Log()
+}
 
 // scheduleKick arms a kick event at the next rescale-gap expiry that could
 // unblock a scheduling action, modelling the operator's requeue-driven
@@ -613,14 +681,28 @@ func CapacityArea(base float64, steps []UtilSample, end float64) float64 {
 	return area
 }
 
+// advanceUtil accumulates the utilization integral up to t. Zero terms
+// (idle time, repeated samples at one instant) add exactly +0.0 to a
+// non-negative accumulator — a bitwise no-op — so they are skipped, which
+// also keeps them out of the sharded replay log: the nonzero terms alone,
+// folded in order, reproduce the sequential sum bit-for-bit.
+func (s *Simulator) advanceUtil(t float64) {
+	if d := float64(s.used) * (t - s.utilLast); d != 0 {
+		s.utilArea += d
+		if s.rec != nil {
+			s.rec.util = append(s.rec.util, d)
+		}
+	}
+	s.utilLast = t
+}
+
 // advanceTo moves simulated time forward, accumulating the utilization
 // integral.
 func (s *Simulator) advanceTo(t float64) {
 	if t < s.now {
 		t = s.now
 	}
-	s.utilArea += float64(s.used) * (t - s.utilLast)
-	s.utilLast = t
+	s.advanceUtil(t)
 	s.now = t
 }
 
@@ -681,8 +763,7 @@ func (s *Simulator) reschedule(sj *simJob, overhead float64, replicas int) {
 // utilization accounting and, outside streaming mode, appends the sample to
 // the utilization and per-job replica timelines.
 func (s *Simulator) record(delta int, sj *simJob, replicas int) {
-	s.utilArea += float64(s.used) * (s.now - s.utilLast)
-	s.utilLast = s.now
+	s.advanceUtil(s.now)
 	s.used += delta
 	if replicas > sj.meta.Replicas {
 		sj.meta.Replicas = replicas // peak allocation
@@ -715,10 +796,16 @@ func (a *simActuator) StartJob(j *core.Job, replicas int) error {
 		// Restarting from a disk checkpoint: charge restart+restore.
 		ph := s.cfg.Machine.RescaleOverhead(sj.spec.Grid, replicas, replicas)
 		resumeOverhead = ph.Restart + ph.Restore
-		s.overheadArea += resumeOverhead * float64(replicas)
+		area := resumeOverhead * float64(replicas)
+		s.overheadArea += area
+		lost := 0.0
 		if sj.forcedOut {
 			sj.forcedOut = false
-			s.workLost += resumeOverhead * float64(replicas)
+			lost = area
+			s.workLost += area
+		}
+		if s.rec != nil {
+			s.rec.ovh = append(s.rec.ovh, ovhTerm{area: area, lost: lost})
 		}
 	}
 	sj.lastUpdate = s.now
@@ -740,17 +827,24 @@ func (a *simActuator) rescale(j *core.Job, to int) error {
 	sj := s.byRef[j.Ref]
 	s.progress(sj) // credit progress at the old replica count first
 	ph := s.cfg.Machine.RescaleOverhead(sj.spec.Grid, j.Replicas, to)
+	tot := ph.Total()
 	delta := to - j.Replicas
 	sj.meta.Rescales++
-	sj.meta.OverheadSec += ph.Total()
-	s.overheadArea += ph.Total() * float64(to)
+	sj.meta.OverheadSec += tot
+	area := tot * float64(to)
+	s.overheadArea += area
+	lost := 0.0
 	if s.sched.Reclaiming() {
 		// The shrink was forced by a capacity loss, not chosen by the
 		// policy: its frozen window is work the availability event cost.
-		s.workLost += ph.Total() * float64(to)
+		lost = area
+		s.workLost += area
+	}
+	if s.rec != nil {
+		s.rec.ovh = append(s.rec.ovh, ovhTerm{area: area, lost: lost})
 	}
 	s.record(delta, sj, to)
-	s.reschedule(sj, ph.Total(), to)
+	s.reschedule(sj, tot, to)
 	return nil
 }
 
@@ -768,23 +862,19 @@ func (a *simActuator) PreemptJob(j *core.Job) error {
 	return nil
 }
 
-// collect finalizes the metrics accumulated during the run.
-func (s *Simulator) collect(w Workload) (Result, error) {
+// resultFromTotals derives the aggregate Result fields from the simulator's
+// accumulated integrals. After a sharded run the facade simulator holds the
+// replayed (exactly sequential) fold of every segment's terms, so both modes
+// share this derivation bit-for-bit. cs and endCap come from the owning
+// scheduler (sequential) or the segment merge (sharded).
+func (s *Simulator) resultFromTotals(cs core.CapacityStats, endCap int) Result {
 	res := Result{Policy: s.cfg.Policy}
-	if s.completed != len(w.Jobs) {
-		for _, sj := range s.byRef {
-			if sj.job.State != core.StateCompleted {
-				return res, fmt.Errorf("sim: job %s ended in state %v", sj.job.ID, sj.job.State)
-			}
-		}
-		return res, fmt.Errorf("sim: %d of %d jobs completed", s.completed, len(w.Jobs))
-	}
 	res.TotalTime = s.lastEnd - s.firstStart
 	res.FirstStart = s.firstStart
 	res.LastEnd = s.lastEnd
 	res.UsedSlotSec = s.utilArea
 	res.WeightSum = s.wSum
-	res.EndCapacity = s.sched.Capacity()
+	res.EndCapacity = endCap
 	// Utilization over the experiment window [0, lastEnd]: no work happens
 	// after the last completion, so the accumulated area is complete. With
 	// availability events the denominator is the capacity the cluster
@@ -802,7 +892,6 @@ func (s *Simulator) collect(w Workload) (Result, error) {
 		res.WeightedResponse = s.wResp / s.wSum
 		res.WeightedCompletion = s.wComp / s.wSum
 	}
-	cs := s.sched.CapacityStats()
 	res.CapacityEvents = s.capEvents
 	res.ForcedShrinks = cs.ForcedShrinks
 	res.Requeues = cs.Requeues
@@ -811,6 +900,20 @@ func (s *Simulator) collect(w Workload) (Result, error) {
 	if s.utilArea > 0 {
 		res.GoodputFrac = 1 - s.overheadArea/s.utilArea
 	}
+	return res
+}
+
+// collect finalizes the metrics accumulated during a sequential run.
+func (s *Simulator) collect(w Workload) (Result, error) {
+	if s.completed != len(w.Jobs) {
+		for _, sj := range s.byRef {
+			if sj.job.State != core.StateCompleted {
+				return Result{Policy: s.cfg.Policy}, fmt.Errorf("sim: job %s ended in state %v", sj.job.ID, sj.job.State)
+			}
+		}
+		return Result{Policy: s.cfg.Policy}, fmt.Errorf("sim: %d of %d jobs completed", s.completed, len(w.Jobs))
+	}
+	res := s.resultFromTotals(s.sched.CapacityStats(), s.sched.Capacity())
 	if !s.cfg.Streaming {
 		// Retained mode never recycles slots, so byRef holds every job;
 		// widx places each record back in workload order.
@@ -857,6 +960,24 @@ func RunPolicyAvailability(p core.Policy, w Workload, rescaleGap float64, avail 
 	cfg := DefaultConfig(p)
 	cfg.RescaleGap = rescaleGap
 	cfg.Availability = avail
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(w)
+}
+
+// RunPolicyParallel is RunPolicyStreaming in the sharded execution mode:
+// the event loop is partitioned into up to shards speculative time epochs
+// that run concurrently and reconcile into a Result bit-identical to the
+// sequential mode (see Config.Shards). shards <= 1 is the sequential path;
+// a workload with fewer cluster-drain boundaries than shards degrades
+// gracefully to fewer epochs.
+func RunPolicyParallel(p core.Policy, w Workload, rescaleGap float64, shards int) (Result, error) {
+	cfg := DefaultConfig(p)
+	cfg.RescaleGap = rescaleGap
+	cfg.Streaming = true
+	cfg.Shards = shards
 	s, err := New(cfg)
 	if err != nil {
 		return Result{}, err

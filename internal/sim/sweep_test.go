@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"elastichpc/internal/core"
 	"elastichpc/internal/workload"
 )
 
@@ -129,9 +130,17 @@ func TestScenarioSweepPropagatesGeneratorError(t *testing.T) {
 // sequentially and on all CPUs. Run with:
 //
 //	go test ./internal/sim -bench Sweep -benchtime 1x
+//
+// The per-cell workload is sized so one cell runs for milliseconds, not
+// microseconds: at the paper's 16 jobs per cell the pool's dispatch overhead
+// rivaled the work itself and the parallel variant measured ~1× even on
+// many-core hosts. 256 jobs per cell keeps the whole sweep quick while
+// making each task big enough that the speedup (and any future pool
+// regression) is visible in the jobs/s metric both variants report.
 func BenchmarkSweep(b *testing.B) {
 	gaps := []float64{0, 60, 120, 180, 240, 300}
-	const jobs, seeds = 16, 8
+	const jobs, seeds = 256, 8
+	cells := len(gaps) * len(core.AllPolicies()) * seeds
 	// The parallel case's name is host-independent on purpose: benchmark
 	// names are the keys BENCH_BASELINE.json comparisons match on, and CI
 	// runners have varying CPU counts.
@@ -148,6 +157,7 @@ func BenchmarkSweep(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			b.ReportMetric(float64(cells*jobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 		})
 	}
 }
