@@ -35,14 +35,16 @@ func TestFacadeAvailabilityEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := elastichpc.SimulateAvailability(elastichpc.Elastic, w, 180, tr)
+	res, err := elastichpc.Simulate(elastichpc.Elastic, w,
+		elastichpc.WithRescaleGap(180), elastichpc.WithAvailability(tr))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.CapacityEvents == 0 {
 		t.Error("no capacity events applied")
 	}
-	stream, err := elastichpc.SimulateAvailabilityStreaming(elastichpc.Elastic, w, 180, tr)
+	stream, err := elastichpc.Simulate(elastichpc.Elastic, w,
+		elastichpc.WithRescaleGap(180), elastichpc.WithAvailability(tr), elastichpc.WithStreaming())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,9 @@
 //	elasticsim -sweep federation           # all routing policies × policies × seeds
 //	elasticsim -clusters 4 -route least_loaded -scenario burst   # one federated run
 //	elasticsim -clusters 4 -skew 0.5       # heterogeneous fleet (capacity ramp)
+//	elasticsim -clusters 4 -rebalance 300 -migrate-running -scenario burst
+//	                                       # co-simulated fleet with the
+//	                                       # checkpoint-migrating rebalancer
 //	elasticsim -table1                     # Table 1, Simulation columns
 //	elasticsim -scenario diurnal           # one scenario under all policies
 //	elasticsim -trace wl.csv               # replay a saved trace (JSON or CSV)
@@ -55,9 +58,11 @@ func main() {
 		jsonPath = flag.String("json", "", "also write the results as a metrics.Report to this path")
 		workldFl = flag.String("workload", "", "deprecated alias of -trace")
 
-		clusters = flag.Int("clusters", 1, "member clusters in a federated run (1 = single cluster)")
-		routeFl  = flag.String("route", "round_robin", "federation routing policy: round_robin | least_loaded | priority | random")
-		skew     = flag.Float64("skew", 0, "federation capacity skew: member i gets base×(1+skew·i) slots")
+		clusters  = flag.Int("clusters", 1, "member clusters in a federated run (1 = single cluster)")
+		routeFl   = flag.String("route", "round_robin", "federation routing policy: round_robin | least_loaded | priority | random")
+		skew      = flag.Float64("skew", 0, "federation capacity skew: member i gets base×(1+skew·i) slots")
+		rebalance = flag.Float64("rebalance", 0, "federation rebalance round period, seconds (0 = off): checkpoint-migrate jobs off backlogged/draining members")
+		migRun    = flag.Bool("migrate-running", false, "let the rebalancer checkpoint-preempt and migrate running jobs off draining members (needs -rebalance)")
 
 		availFl   = flag.String("availability", "", "capacity profile: failures | spot | drain | tides | trace")
 		availTr   = flag.String("availability-trace", "", "capacity trace file for -availability trace (implies it)")
@@ -135,10 +140,16 @@ func main() {
 		if *saveWL != "" || *saveAvail != "" {
 			log.Fatal("-clusters does not apply to the -save-* export modes")
 		}
-	} else if (routeSet || *skew != 0) && *sweep != "federation" {
+	} else if (routeSet || *skew != 0 || *rebalance != 0 || *migRun) && *sweep != "federation" {
 		// The converse mistake: federation flags on a single-cluster run
 		// would be silently dropped.
-		log.Fatal("-route/-skew need a federation: pass -clusters N or -sweep federation")
+		log.Fatal("-route/-skew/-rebalance need a federation: pass -clusters N or -sweep federation")
+	}
+	if *migRun && *rebalance == 0 {
+		log.Fatal("-migrate-running needs -rebalance")
+	}
+	if *rebalance != 0 && *sweep == "federation" {
+		log.Fatal("-rebalance does not apply to -sweep federation (it compares routing policies on the batch path)")
 	}
 	// -shards drives the sharded event loop of a single simulation; sweeps
 	// and federations parallelize across runs instead (-parallel), so reject
@@ -289,7 +300,12 @@ func main() {
 		params["clusters"] = strconv.Itoa(*clusters)
 		params["route"] = route.String()
 		params["skew"] = strconv.FormatFloat(*skew, 'g', -1, 64)
-		report = runFederation(g.Name(), w, *clusters, route, *skew, *seed, *parallel, params)
+		rb := federation.RebalanceConfig{Every: *rebalance, MigrateRunning: *migRun}
+		if *rebalance != 0 {
+			params["rebalance"] = strconv.FormatFloat(*rebalance, 'g', -1, 64)
+			params["migrate_running"] = strconv.FormatBool(*migRun)
+		}
+		report = runFederation(g.Name(), w, *clusters, route, *skew, rb, *seed, *parallel, params)
 	case *scenario != "" || *tracePth != "" || profile != nil:
 		g := pickGenerator(*scenario, *tracePth)
 		w, err := g.Generate(*seed)
@@ -406,12 +422,21 @@ func printRoutes(results []sim.ScenarioResult) {
 
 // runFederation routes one workload across a fleet of member clusters under
 // every scheduling policy and prints the fleet metrics plus the per-cluster
-// job split. workers bounds the member pool like -parallel bounds sweeps.
-func runFederation(name string, w sim.Workload, clusters int, route federation.Route, skew float64, seed int64, workers int, params map[string]string) *metrics.Report {
-	fmt.Printf("Routing %d-job %s workload across %d clusters (%s route, skew %g) under all policies\n",
-		len(w.Jobs), name, clusters, route, skew)
-	fmt.Printf("%-14s %12s %12s %16s %18s %10s %s\n",
-		"Scheduler", "Total (s)", "Utilization", "W. response (s)", "W. completion (s)", "Imbalance", "Jobs/cluster")
+// job split. workers bounds the member pool like -parallel bounds sweeps;
+// a non-zero rb turns on the checkpoint-migrating rebalancer.
+func runFederation(name string, w sim.Workload, clusters int, route federation.Route, skew float64, rb federation.RebalanceConfig, seed int64, workers int, params map[string]string) *metrics.Report {
+	rebalancing := rb.Every > 0
+	if rebalancing {
+		fmt.Printf("Routing %d-job %s workload across %d clusters (%s route, skew %g, rebalance every %g s) under all policies\n",
+			len(w.Jobs), name, clusters, route, skew, rb.Every)
+		fmt.Printf("%-14s %12s %12s %16s %18s %10s %10s %s\n",
+			"Scheduler", "Total (s)", "Utilization", "W. response (s)", "W. completion (s)", "Imbalance", "Migrations", "Jobs/cluster")
+	} else {
+		fmt.Printf("Routing %d-job %s workload across %d clusters (%s route, skew %g) under all policies\n",
+			len(w.Jobs), name, clusters, route, skew)
+		fmt.Printf("%-14s %12s %12s %16s %18s %10s %s\n",
+			"Scheduler", "Total (s)", "Utilization", "W. response (s)", "W. completion (s)", "Imbalance", "Jobs/cluster")
+	}
 	rep := metrics.New("elasticsim", metrics.KindRun)
 	rep.Params = params
 	for _, p := range core.AllPolicies() {
@@ -422,13 +447,20 @@ func runFederation(name string, w sim.Workload, clusters int, route federation.R
 			Route:     route,
 			RouteSeed: seed,
 			Workers:   workers,
+			Rebalance: rb,
 		}, w)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-14s %12.0f %11.2f%% %16.2f %18.2f %9.2f%% %v\n",
-			p, r.TotalTime, 100*r.Utilization, r.WeightedResponse, r.WeightedCompletion,
-			100*r.Imbalance, r.JobsPerMember)
+		if rebalancing {
+			fmt.Printf("%-14s %12.0f %11.2f%% %16.2f %18.2f %9.2f%% %10d %v\n",
+				p, r.TotalTime, 100*r.Utilization, r.WeightedResponse, r.WeightedCompletion,
+				100*r.Imbalance, len(r.Migrations), r.JobsPerMember)
+		} else {
+			fmt.Printf("%-14s %12.0f %11.2f%% %16.2f %18.2f %9.2f%% %v\n",
+				p, r.TotalTime, 100*r.Utilization, r.WeightedResponse, r.WeightedCompletion,
+				100*r.Imbalance, r.JobsPerMember)
+		}
 		rep.Runs = append(rep.Runs, metrics.FromFederation(name, r))
 	}
 	return &rep

@@ -9,6 +9,8 @@
 //	kubesim -xlarge-timeline   # Figure 9b: replica evolution of an xlarge job
 //	kubesim -scenario uniform -availability spot   # failure/preemption scenario
 //	                                               # through the full emulation
+//	kubesim -clusters 4 -route least_loaded        # a fleet of emulated clusters
+//	                                               # behind the federation router
 package main
 
 import (
@@ -16,10 +18,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"elastichpc/internal/chart"
 	"elastichpc/internal/cluster"
 	"elastichpc/internal/core"
+	"elastichpc/internal/federation"
 	"elastichpc/internal/metrics"
 	"elastichpc/internal/model"
 	"elastichpc/internal/sim"
@@ -46,6 +50,9 @@ func main() {
 		mttr     = flag.Float64("mttr", 0, "failures profile: mean time to repair, seconds (0 = default)")
 		preempt  = flag.Int("preempt", 0, "spot profile: slots reclaimed per preemption event (0 = default)")
 		ckpt     = flag.Int("ckpt-period", 1000, "periodic checkpoint interval in iterations for availability runs (0 = restart from scratch)")
+
+		clusters = flag.Int("clusters", 1, "emulated member clusters behind the federation router (1 = single cluster)")
+		routeFl  = flag.String("route", "round_robin", "fleet routing policy for -clusters: round_robin | least_loaded | priority | random")
 	)
 	flag.Parse()
 	if *tracePth != "" && *scenario == "" {
@@ -53,6 +60,21 @@ func main() {
 	}
 	if *availTr != "" && *availFl == "" {
 		*availFl = "trace"
+	}
+	route, err := federation.RouteByName(*routeFl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *clusters < 1 {
+		log.Fatalf("-clusters %d: a fleet needs at least 1 member", *clusters)
+	}
+	if *clusters > 1 {
+		if *table1 || *profiles || *xlarge || *sweep {
+			log.Fatal("-clusters applies to scenario emulation only")
+		}
+		if *availFl != "" {
+			log.Fatal("-availability does not apply to -clusters (set per-member traces through the library)")
+		}
 	}
 
 	var report *metrics.Report
@@ -65,6 +87,8 @@ func main() {
 		report = runXLargeTimeline()
 	case *sweep:
 		report = runSweep(*seeds)
+	case *clusters > 1:
+		report = runFleet(*scenario, *tracePth, *clusters, route, *seed, *ckpt)
 	case *scenario != "" || *availFl != "":
 		report = runScenario(*scenario, *tracePth, *availFl, *availTr, *seed, *mttf, *mttr, *preempt, *ckpt)
 	default:
@@ -140,6 +164,60 @@ func runScenario(scenario, tracePath, availName, availTrace string, seed int64, 
 				p, res.TotalTime, 100*res.Utilization, res.WeightedResponse, res.WeightedCompletion)
 		}
 		rep.Runs = append(rep.Runs, metrics.FromResult(gen.Name(), res))
+	}
+	return &rep
+}
+
+// runFleet emulates one seeded workload scenario on a federation of
+// emulated clusters: each member is a full cluster.RunExperiment backend
+// plugged into the fleet router through the federation Member interface, so
+// the routing layer is exercised against the emulation rather than the
+// simulator. Rebalancing needs steppable (simulator) members and is
+// deliberately not offered here; use `elasticsim -clusters -rebalance` for
+// the co-simulated fleet.
+func runFleet(scenario, tracePath string, clusters int, route federation.Route, seed int64, ckpt int) *metrics.Report {
+	gen := workload.Generator(workload.Uniform{Jobs: 16, Gap: 90})
+	if scenario != "" {
+		g, err := workload.Scenario(scenario, tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen = g
+	}
+	w, err := gen.Generate(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep := metrics.New("kubesim", metrics.KindRun)
+	rep.Params = map[string]string{
+		"scenario": gen.Name(), "seed": fmt.Sprint(seed),
+		"clusters": fmt.Sprint(clusters), "route": route.String(),
+	}
+	fmt.Printf("Emulating %s workload across %d clusters, %s routing (seed %d)\n",
+		gen.Name(), clusters, route, seed)
+	fmt.Printf("%-14s %12s %12s %16s %18s %10s %14s\n",
+		"Scheduler", "Total (s)", "Utilization", "W. response (s)", "W. completion (s)",
+		"Imbalance", "Jobs/cluster")
+	for _, p := range core.AllPolicies() {
+		backends := make([]federation.Member, clusters)
+		for i := range backends {
+			cfg := cluster.DefaultConfig(p)
+			cfg.CheckpointPeriod = ckpt
+			backends[i] = federation.NewClusterMember(cfg)
+		}
+		res, err := federation.Run(federation.Config{Backends: backends, Route: route, RouteSeed: seed}, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		counts := make([]string, len(res.JobsPerMember))
+		for i, n := range res.JobsPerMember {
+			counts[i] = fmt.Sprint(n)
+		}
+		fmt.Printf("%-14s %12.0f %11.2f%% %16.2f %18.2f %10.3f %14s\n",
+			p, res.TotalTime, 100*res.Utilization, res.WeightedResponse, res.WeightedCompletion,
+			res.Imbalance, strings.Join(counts, "/"))
+		rep.Runs = append(rep.Runs, metrics.FromFederation(gen.Name(), res))
 	}
 	return &rep
 }

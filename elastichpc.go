@@ -33,11 +33,15 @@
 //     (goodput, work lost, preemptions survived by shrinking vs. requeued)
 //     and an availability sweep axis;
 //   - a federated multi-cluster meta-scheduler (internal/federation) that
-//     routes one workload stream across N member clusters — round-robin,
-//     least-loaded, priority-aware, or random-seeded — runs the members
-//     concurrently with results bit-identical to sequential execution, and
-//     aggregates exact fleet-wide metrics (utilization over summed delivered
-//     capacity, weighted response/completion, imbalance);
+//     routes one workload stream across N pluggable member clusters
+//     (simulator- or emulation-backed) — round-robin, least-loaded over
+//     per-member machines, availability traces, and an M/G/1 delay term,
+//     priority-aware, or random-seeded — runs the members concurrently with
+//     results bit-identical to sequential execution, optionally rebalances
+//     the fleet in periodic rounds that checkpoint-migrate jobs off
+//     backlogged or draining members, and aggregates exact fleet-wide
+//     metrics (utilization over summed delivered capacity, weighted
+//     response/completion, imbalance) plus the migration log;
 //   - a versioned, machine-readable experiment-report schema
 //     (internal/metrics) that every harness CLI emits via -json and that
 //     cmd/benchreport diffs against regression thresholds — the format
@@ -175,26 +179,83 @@ func RandomWorkload(n int, gapSeconds float64, seed int64) Workload {
 	return sim.RandomWorkload(n, gapSeconds, seed)
 }
 
+// SimOption customizes one Simulate call. Options compose freely and apply
+// in argument order over the default configuration (64 slots, 180 s rescale
+// gap, the calibrated default machine) — every former Simulate* entry point
+// is a spelling of Simulate plus options.
+type SimOption func(*SimConfig)
+
+// WithRescaleGap sets the rescale gap T_rescale_gap in seconds (default
+// 180, the paper's setting).
+func WithRescaleGap(seconds float64) SimOption {
+	return func(cfg *SimConfig) { cfg.RescaleGap = seconds }
+}
+
+// WithStreaming computes only the aggregate metrics, in O(running jobs)
+// memory, so million-job workloads are practical. The result's per-job
+// fields are nil; the aggregates are bit-identical to the retained mode.
+func WithStreaming() SimOption {
+	return func(cfg *SimConfig) { cfg.Streaming = true }
+}
+
+// WithShards shards the event loop across k goroutines by time epoch (0 or
+// 1 = sequential; implies streaming). The result is bit-identical to the
+// sequential run on any shard count; the speedup depends on the workload —
+// epochs cut only where the cluster drains, so bursty workloads parallelize
+// and a saturated backlog degrades gracefully to the sequential loop.
+func WithShards(k int) SimOption {
+	return func(cfg *SimConfig) {
+		cfg.Streaming = true
+		cfg.Shards = k
+	}
+}
+
+// WithAvailability runs the workload on a time-varying cluster: the
+// capacity trace drives SetCapacity events through the discrete-event loop,
+// and the result carries the resilience aggregates.
+func WithAvailability(tr AvailabilityTrace) SimOption {
+	return func(cfg *SimConfig) { cfg.Availability = tr }
+}
+
+// WithSimConfig replaces the base configuration wholesale before the other
+// options apply — the escape hatch to every sim.Config knob (capacity,
+// machine model, decision logging, …) the named options don't cover.
+func WithSimConfig(cfg SimConfig) SimOption {
+	return func(dst *SimConfig) { *dst = cfg }
+}
+
 // Simulate runs a workload under a policy in the discrete-event simulator.
-func Simulate(p Policy, w Workload, rescaleGapSeconds float64) (SimResult, error) {
-	return sim.RunPolicy(p, w, rescaleGapSeconds)
+// Options select the execution mode:
+//
+//	Simulate(p, w)                                      // defaults
+//	Simulate(p, w, WithRescaleGap(60))                  // tuned gap
+//	Simulate(p, w, WithStreaming())                     // O(running) memory
+//	Simulate(p, w, WithShards(8))                       // sharded + streaming
+//	Simulate(p, w, WithAvailability(tr), WithStreaming()) // capacity trace
+//
+// Every combination is bit-identical to the legacy Simulate* entry point it
+// replaces (pinned by the facade equivalence tests).
+func Simulate(p Policy, w Workload, opts ...SimOption) (SimResult, error) {
+	cfg := sim.DefaultConfig(p)
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return sim.Run(cfg, w)
 }
 
-// SimulateStreaming is Simulate in streaming mode: only the aggregate
-// metrics are computed, in O(running jobs) memory, so million-job workloads
-// are practical. The result's per-job fields are nil.
+// SimulateStreaming is Simulate in streaming mode.
+//
+// Deprecated: Use Simulate with WithStreaming (and WithRescaleGap).
 func SimulateStreaming(p Policy, w Workload, rescaleGapSeconds float64) (SimResult, error) {
-	return sim.RunPolicyStreaming(p, w, rescaleGapSeconds)
+	return Simulate(p, w, WithRescaleGap(rescaleGapSeconds), WithStreaming())
 }
 
-// SimulateParallel is SimulateStreaming with the event loop sharded across
-// `shards` goroutines by time epoch (0 or 1 = sequential). The result is
-// bit-identical to the sequential run on any shard count; the speedup
-// depends on the workload — epochs cut only where the cluster drains, so
-// bursty workloads parallelize and a saturated backlog degrades gracefully
-// to the sequential loop.
+// SimulateParallel is Simulate with the event loop sharded across `shards`
+// goroutines by time epoch.
+//
+// Deprecated: Use Simulate with WithShards (and WithRescaleGap).
 func SimulateParallel(p Policy, w Workload, rescaleGapSeconds float64, shards int) (SimResult, error) {
-	return sim.RunPolicyParallel(p, w, rescaleGapSeconds, shards)
+	return Simulate(p, w, WithRescaleGap(rescaleGapSeconds), WithShards(shards))
 }
 
 // Workload scenarios (the internal/workload engine): generators produce
@@ -324,16 +385,19 @@ func ReplayAvailabilityTrace(name string, tr AvailabilityTrace) AvailabilityProf
 }
 
 // SimulateAvailability runs a workload under a policy on a time-varying
-// cluster: the capacity trace drives SetCapacity events through the
-// discrete-event loop, and the result carries the resilience aggregates.
+// cluster.
+//
+// Deprecated: Use Simulate with WithAvailability (and WithRescaleGap).
 func SimulateAvailability(p Policy, w Workload, rescaleGapSeconds float64, tr AvailabilityTrace) (SimResult, error) {
-	return sim.RunPolicyAvailability(p, w, rescaleGapSeconds, tr)
+	return Simulate(p, w, WithRescaleGap(rescaleGapSeconds), WithAvailability(tr))
 }
 
 // SimulateAvailabilityStreaming is SimulateAvailability in O(running jobs)
-// memory; the aggregates are bit-identical to the retained mode.
+// memory.
+//
+// Deprecated: Use Simulate with WithAvailability and WithStreaming.
 func SimulateAvailabilityStreaming(p Policy, w Workload, rescaleGapSeconds float64, tr AvailabilityTrace) (SimResult, error) {
-	return sim.RunPolicyAvailabilityStreaming(p, w, rescaleGapSeconds, tr)
+	return Simulate(p, w, WithRescaleGap(rescaleGapSeconds), WithAvailability(tr), WithStreaming())
 }
 
 // AvailabilitySweep averages one workload scenario under every availability
@@ -361,7 +425,29 @@ type (
 	FederationResult = federation.Result
 	// FederationRoute selects the job-routing policy across members.
 	FederationRoute = federation.Route
+	// FederationMember is a pluggable federation backend: the router reads
+	// its hardware (capacity, machine model, availability trace) and the
+	// fleet runs its sub-workload through it.
+	FederationMember = federation.Member
+	// FederationRebalance configures the fleet-level checkpoint-migrating
+	// rebalancer; the zero value disables it.
+	FederationRebalance = federation.RebalanceConfig
+	// FederationMigration is one job move in the rebalancer's decision log.
+	FederationMigration = federation.Migration
 )
+
+// SimFederationMember backs a federation member with the discrete-event
+// simulator — the default backend.
+func SimFederationMember(cfg SimConfig) FederationMember {
+	return federation.NewSimMember(cfg)
+}
+
+// ClusterFederationMember backs a federation member with the full
+// k8s+operator cluster emulation, so a fleet can mix simulated and emulated
+// clusters (rebalancing requires simulator-backed members).
+func ClusterFederationMember(cfg ClusterConfig) FederationMember {
+	return federation.NewClusterMember(cfg)
+}
 
 // Federation routing policies.
 const (

@@ -80,7 +80,7 @@ func TestFacadeCCSRoundTrip(t *testing.T) {
 
 func TestFacadeSimulateAndEmulate(t *testing.T) {
 	w := elastichpc.RandomWorkload(8, 60, 1)
-	simRes, err := elastichpc.Simulate(elastichpc.Elastic, w, 180)
+	simRes, err := elastichpc.Simulate(elastichpc.Elastic, w, elastichpc.WithRescaleGap(180))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,11 +115,12 @@ func TestFacadeSchedulerPolicies(t *testing.T) {
 
 func TestFacadeStreamingAndMetricsReport(t *testing.T) {
 	w := elastichpc.RandomWorkload(8, 90, 2)
-	retained, err := elastichpc.Simulate(elastichpc.Elastic, w, 180)
+	retained, err := elastichpc.Simulate(elastichpc.Elastic, w, elastichpc.WithRescaleGap(180))
 	if err != nil {
 		t.Fatal(err)
 	}
-	streaming, err := elastichpc.SimulateStreaming(elastichpc.Elastic, w, 180)
+	streaming, err := elastichpc.Simulate(elastichpc.Elastic, w,
+		elastichpc.WithRescaleGap(180), elastichpc.WithStreaming())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,8 @@ func TestFacadeStreamingAndMetricsReport(t *testing.T) {
 	if streaming.Jobs != nil {
 		t.Error("streaming result retained per-job metrics")
 	}
-	parallel, err := elastichpc.SimulateParallel(elastichpc.Elastic, w, 180, 4)
+	parallel, err := elastichpc.Simulate(elastichpc.Elastic, w,
+		elastichpc.WithRescaleGap(180), elastichpc.WithShards(4))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -103,7 +103,7 @@ func spotSimulated() {
 	fmt.Printf("%-14s %10s %9s %9s %9s %12s\n",
 		"Scheduler", "Total (s)", "Goodput", "Shrinks", "Requeues", "Lost (r·s)")
 	for _, p := range elastichpc.AllPolicies() {
-		res, err := elastichpc.SimulateAvailability(p, w, 180, tr)
+		res, err := elastichpc.Simulate(p, w, elastichpc.WithRescaleGap(180), elastichpc.WithAvailability(tr))
 		if err != nil {
 			log.Fatal(err)
 		}

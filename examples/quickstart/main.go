@@ -22,7 +22,7 @@ func main() {
 	fmt.Printf("%-14s %12s %12s %16s %18s\n",
 		"scheduler", "total (s)", "utilization", "w.response (s)", "w.completion (s)")
 	for _, policy := range elastichpc.AllPolicies() {
-		res, err := elastichpc.Simulate(policy, workload, 180)
+		res, err := elastichpc.Simulate(policy, workload, elastichpc.WithRescaleGap(180))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -76,7 +76,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	simRes, err := elastichpc.Simulate(elastichpc.Elastic, replayed, 180)
+	simRes, err := elastichpc.Simulate(elastichpc.Elastic, replayed, elastichpc.WithRescaleGap(180))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,6 +16,11 @@ const (
 	StateRunning
 	StateCompleted
 	StatePreempted
+	// StateWithdrawn marks a job removed from this scheduler entirely — the
+	// federation rebalancer's migration primitive. A withdrawn job is no
+	// longer this scheduler's responsibility; it is typically re-submitted
+	// to another member's scheduler.
+	StateWithdrawn
 )
 
 // String returns the state's display name.
@@ -29,6 +34,8 @@ func (s State) String() string {
 		return "Completed"
 	case StatePreempted:
 		return "Preempted"
+	case StateWithdrawn:
+		return "Withdrawn"
 	}
 	return fmt.Sprintf("State(%d)", int(s))
 }

@@ -17,6 +17,7 @@ const (
 	DecisionComplete
 	DecisionPreempt
 	DecisionCapacity
+	DecisionWithdraw
 )
 
 // String returns the decision kind's log label.
@@ -36,6 +37,8 @@ func (k DecisionKind) String() string {
 		return "preempt"
 	case DecisionCapacity:
 		return "capacity"
+	case DecisionWithdraw:
+		return "withdraw"
 	}
 	return fmt.Sprintf("DecisionKind(%d)", int(k))
 }

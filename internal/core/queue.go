@@ -81,6 +81,27 @@ func (q *jobQueue) down(i int) {
 	}
 }
 
+// remove deletes an arbitrary job from the queue, restoring the heap
+// invariant: O(n) to locate the job plus O(log n) to sift — the rare
+// fleet-migration withdraw path, never a scheduling hot path.
+func (q *jobQueue) remove(j *Job) bool {
+	for i, cur := range q.jobs {
+		if cur != j {
+			continue
+		}
+		n := len(q.jobs) - 1
+		q.jobs[i] = q.jobs[n]
+		q.jobs[n] = nil
+		q.jobs = q.jobs[:n]
+		if i < n {
+			q.down(i)
+			q.up(i)
+		}
+		return true
+	}
+	return false
+}
+
 // init re-establishes the heap invariant over the whole queue in O(n).
 func (q *jobQueue) init() {
 	for i := len(q.jobs)/2 - 1; i >= 0; i-- {

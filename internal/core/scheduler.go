@@ -492,6 +492,31 @@ func (s *Scheduler) Submit(j *Job) error {
 	return nil
 }
 
+// Withdraw removes a waiting job from this scheduler entirely — the
+// federation rebalancer's migration primitive: the job leaves this member's
+// queue and is re-submitted to another member. Only waiting jobs (queued, or
+// checkpoint-preempted back to the queue) can be withdrawn; a running or
+// completed job is an error and the scheduler is left untouched. On success
+// the job's state becomes StateWithdrawn and the scheduler drops every
+// reference to it.
+//
+// minNeed is deliberately left as-is: it is a conservative lower bound
+// (never above the true value), so a stale-low value after removing the
+// smallest queued job costs at most one redundant feasibility walk.
+func (s *Scheduler) Withdraw(j *Job) error {
+	if j.State != StateQueued && j.State != StatePreempted {
+		return fmt.Errorf("core: withdraw %s: state %v, want Queued or Preempted", j.ID, j.State)
+	}
+	s.refresh()
+	if !s.queue.remove(j) {
+		return fmt.Errorf("core: withdraw %s: not in this scheduler's queue", j.ID)
+	}
+	j.State = StateWithdrawn
+	s.dirty()
+	s.record(DecisionWithdraw, j)
+	return nil
+}
+
 func (s *Scheduler) submit(job *Job) {
 	minR, maxR := s.bounds(job)
 	overhead := s.cfg.JobOverheadSlots

@@ -1,0 +1,90 @@
+package core
+
+import "testing"
+
+func TestWithdrawQueuedJob(t *testing.T) {
+	s, _, _ := newSched(t, Config{Policy: Elastic, Capacity: 8})
+	running := job("run", 3, 8, 8)
+	waiting := job("wait", 3, 4, 8)
+	if err := s.Submit(running); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(waiting); err != nil {
+		t.Fatal(err)
+	}
+	if waiting.State != StateQueued || s.NumQueued() != 1 {
+		t.Fatalf("setup: %v, %d queued", waiting.State, s.NumQueued())
+	}
+	if err := s.Withdraw(waiting); err != nil {
+		t.Fatal(err)
+	}
+	if waiting.State != StateWithdrawn {
+		t.Errorf("state %v, want Withdrawn", waiting.State)
+	}
+	if s.NumQueued() != 0 {
+		t.Errorf("%d still queued", s.NumQueued())
+	}
+	// A withdrawn job is gone: a second withdraw must fail.
+	if err := s.Withdraw(waiting); err == nil {
+		t.Error("withdrew the same job twice")
+	}
+}
+
+func TestWithdrawRejectsRunningJob(t *testing.T) {
+	s, _, _ := newSched(t, Config{Policy: Elastic, Capacity: 8})
+	j := job("run", 3, 4, 8)
+	if err := s.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateRunning {
+		t.Fatalf("setup: %v", j.State)
+	}
+	if err := s.Withdraw(j); err == nil {
+		t.Error("withdrew a running job")
+	}
+}
+
+func TestWithdrawPreemptedJob(t *testing.T) {
+	s, _, _ := newSched(t, Config{Policy: Elastic, Capacity: 8, EnablePreemption: true})
+	j := job("victim", 1, 4, 8)
+	if err := s.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Preempt(8); got == 0 {
+		t.Fatal("preempt freed nothing")
+	}
+	if j.State != StatePreempted {
+		t.Fatalf("state %v after preempt", j.State)
+	}
+	if err := s.Withdraw(j); err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateWithdrawn || s.NumQueued() != 0 {
+		t.Errorf("state %v, %d queued", j.State, s.NumQueued())
+	}
+}
+
+func TestWithdrawKeepsSchedulerConsistent(t *testing.T) {
+	// After a withdraw frees queue pressure, the next scheduling pass must
+	// still start the remaining queued work.
+	s, _, _ := newSched(t, Config{Policy: Elastic, Capacity: 8})
+	blocker := job("blocker", 5, 8, 8)
+	a := job("a", 4, 8, 8)
+	b := job("b", 3, 8, 8)
+	for _, j := range []*Job{blocker, a, b} {
+		if err := s.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// blocker runs; a and b wait. Withdrawing a must leave b first in line.
+	if err := s.Withdraw(a); err != nil {
+		t.Fatal(err)
+	}
+	s.OnJobComplete(blocker)
+	if b.State != StateRunning {
+		t.Errorf("b is %v after the blocker completed, want Running", b.State)
+	}
+	if a.State != StateWithdrawn {
+		t.Errorf("a is %v, want Withdrawn", a.State)
+	}
+}

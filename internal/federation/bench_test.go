@@ -47,3 +47,45 @@ func BenchmarkFederation(b *testing.B) {
 		b.ReportMetric(m.Utilization, fmt.Sprintf("c%d_util", i))
 	}
 }
+
+// BenchmarkFederationMigration measures the rebalanced fleet path: a
+// 4-cluster fleet at the reference per-cluster load whose member 0 has half
+// the slots, co-simulated in 300 s barrier rounds with the
+// checkpoint-migrating rebalancer draining member 0's backlog into the
+// healthy members. Reported ungated until the next BENCH_BASELINE.json
+// refresh (benchreport lists candidate-only benchmarks as "new"); the
+// moves/round metric tracks rebalancer activity.
+func BenchmarkFederationMigration(b *testing.B) {
+	const jobs = 100_000
+	const clusters = 4
+	w, err := (workload.Burst{Waves: jobs / 200, PerWave: 200, WaveGap: 29000 / clusters}).Generate(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := sim.DefaultConfig(core.Elastic)
+	base.Streaming = true
+	members := Uniform(base, clusters)
+	members[0].Capacity = 32
+	cfg := Config{
+		Members:   members,
+		Route:     RoundRobin,
+		Rebalance: RebalanceConfig{Every: 300},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last Result
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TotalTime <= 0 || res.RebalanceRounds == 0 {
+			b.Fatalf("degenerate result: rounds=%d total=%g", res.RebalanceRounds, res.TotalTime)
+		}
+		last = res
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(jobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+	b.ReportMetric(float64(len(last.Migrations)), "migrations")
+	b.ReportMetric(float64(len(last.Migrations))/float64(last.RebalanceRounds), "moves/round")
+}

@@ -14,14 +14,17 @@ const DefaultHighPriority = 4
 // Config parameterizes a federation run.
 type Config struct {
 	// Members holds one simulator configuration per member cluster. Each
-	// member keeps its own capacity, rescale gap, availability trace,
-	// streaming mode, and sharded execution mode (sim.Config.Shards — a
-	// member so configured runs its own event loop across time epochs,
-	// with results still bit-identical, composing with the Workers pool
-	// below); the meta-scheduler never reaches inside a member beyond
-	// handing it its sub-workload. The first member's Machine also
-	// calibrates the router's demand estimates.
+	// member keeps its own capacity, rescale gap, machine model,
+	// availability trace, streaming mode, and sharded execution mode
+	// (sim.Config.Shards); the meta-scheduler never reaches inside a member
+	// beyond handing it its sub-workload. The router reads every member's
+	// own machine and availability trace for its placement estimates.
 	Members []sim.Config
+	// Backends, when non-empty, overrides Members with arbitrary member
+	// backends — e.g. the full cluster emulation via NewClusterMember, or a
+	// mixed fleet. When empty, each Members entry is wrapped in a
+	// SimMember. Rebalancing (below) requires simulator-backed members.
+	Backends []Member
 	// Route is the job-routing policy across members.
 	Route Route
 	// RouteSeed seeds the Random route (ignored by the others).
@@ -33,6 +36,10 @@ type Config struct {
 	// CPU, 1 is the sequential reference path. Results are bit-identical
 	// either way.
 	Workers int
+	// Rebalance configures the fleet-level checkpoint-migrating rebalancer
+	// (see migrate.go); the zero value disables it and keeps the batch
+	// path — and its results — untouched.
+	Rebalance RebalanceConfig
 }
 
 // Uniform builds n identical member configurations from one base — the
@@ -61,17 +68,34 @@ func Skewed(base sim.Config, n int, skew float64) []sim.Config {
 	return members
 }
 
+// backends resolves the member backends: Config.Backends verbatim, or each
+// Members entry wrapped in a SimMember.
+func (cfg Config) backends() []Member {
+	if len(cfg.Backends) > 0 {
+		return cfg.Backends
+	}
+	ms := make([]Member, len(cfg.Members))
+	for i, mc := range cfg.Members {
+		ms[i] = SimMember{Config: mc}
+	}
+	return ms
+}
+
 func (cfg Config) validate() error {
-	if len(cfg.Members) == 0 {
+	members := cfg.backends()
+	if len(members) == 0 {
 		return fmt.Errorf("federation: no member clusters")
 	}
-	for i, m := range cfg.Members {
-		if m.Capacity < 1 {
-			return fmt.Errorf("federation: member %d capacity %d", i, m.Capacity)
+	for i, m := range members {
+		if m.Capacity() < 1 {
+			return fmt.Errorf("federation: member %d capacity %d", i, m.Capacity())
 		}
 	}
 	if cfg.HighPriority < 0 {
 		return fmt.Errorf("federation: high-priority threshold %d < 0", cfg.HighPriority)
+	}
+	if err := cfg.Rebalance.validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -81,6 +105,7 @@ func (cfg Config) withDefaults() Config {
 	if cfg.HighPriority == 0 {
 		cfg.HighPriority = DefaultHighPriority
 	}
+	cfg.Rebalance = cfg.Rebalance.withDefaults()
 	return cfg
 }
 
@@ -91,7 +116,8 @@ type Result struct {
 	Route  Route
 	// Members holds each member cluster's own sim.Result, in member order.
 	Members []sim.Result
-	// JobsPerMember is how many jobs the router sent to each member.
+	// JobsPerMember is how many jobs each member completed: the router's
+	// deal adjusted by any rebalancer migrations.
 	JobsPerMember []int
 	// TotalTime is the fleet window: from the first job start on any member
 	// to the last completion on any member.
@@ -110,6 +136,11 @@ type Result struct {
 	// fleet-window utilization (0 for a single member or a perfectly
 	// balanced fleet) — the routing-quality metric.
 	Imbalance float64
+	// Migrations is the rebalancer's move log in decision order (nil when
+	// rebalancing is off), and RebalanceRounds counts the rounds executed —
+	// together the determinism fingerprint the equivalence tests pin.
+	Migrations      []Migration
+	RebalanceRounds int
 	// Resilience aggregates, summed across members.
 	CapacityEvents int
 	ForcedShrinks  int
@@ -140,20 +171,26 @@ func (r Result) fleetView() sim.Result {
 // member on the sim.RunTasks worker pool, and aggregates. The partition is
 // sequential and deterministic, member runs are independent, and members are
 // folded in index order, so parallel execution is bit-identical to
-// cfg.Workers == 1.
+// cfg.Workers == 1. With Config.Rebalance enabled the members instead
+// co-simulate in barrier-synchronized rounds between which the rebalancer
+// checkpoint-migrates jobs (see migrate.go) — still deterministic and still
+// bit-identical across worker counts.
 func Run(cfg Config, w sim.Workload) (Result, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Rebalance.enabled() {
+		return runRebalanced(cfg, w)
+	}
 	parts, _, err := Partition(cfg, w)
 	if err != nil {
 		return Result{}, err
 	}
+	backends := cfg.backends()
 	members := make([]sim.Result, len(parts))
 	err = sim.RunTasks(len(parts), cfg.Workers, func(i int) error {
-		s, err := sim.New(cfg.Members[i])
-		if err != nil {
-			return fmt.Errorf("federation: member %d: %w", i, err)
-		}
-		res, err := s.Run(parts[i])
+		res, err := backends[i].Run(parts[i])
 		if err != nil {
 			return fmt.Errorf("federation: member %d: %w", i, err)
 		}
@@ -163,17 +200,22 @@ func Run(cfg Config, w sim.Workload) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return aggregate(cfg, parts, members), nil
+	counts := make([]int, len(parts))
+	for i := range parts {
+		counts[i] = len(parts[i].Jobs)
+	}
+	return aggregate(cfg, backends, counts, members), nil
 }
 
 // aggregate folds the member results into the fleet metrics, always in
-// member index order so float accumulation is reproducible.
-func aggregate(cfg Config, parts []sim.Workload, members []sim.Result) Result {
+// member index order so float accumulation is reproducible. jobsPer is each
+// member's completed-job count (the partition's deal, net of migrations).
+func aggregate(cfg Config, backends []Member, jobsPer []int, members []sim.Result) Result {
 	res := Result{
-		Policy:        cfg.Members[0].Policy,
+		Policy:        backends[0].Policy(),
 		Route:         cfg.Route,
 		Members:       members,
-		JobsPerMember: make([]int, len(parts)),
+		JobsPerMember: jobsPer,
 		GoodputFrac:   1,
 	}
 	// Fleet window over members that ran jobs (an empty member's zeroed
@@ -181,8 +223,7 @@ func aggregate(cfg Config, parts []sim.Workload, members []sim.Result) Result {
 	first := true
 	var firstStart, lastEnd float64
 	for i, m := range members {
-		res.JobsPerMember[i] = len(parts[i].Jobs)
-		if len(parts[i].Jobs) == 0 {
+		if jobsPer[i] == 0 {
 			continue
 		}
 		if first || m.FirstStart < firstStart {
@@ -206,12 +247,12 @@ func aggregate(cfg Config, parts []sim.Workload, members []sim.Result) Result {
 		// still change what the idle member could have delivered to the
 		// fleet. Without a trace the member idles at its end capacity.
 		var d float64
-		if tr := cfg.Members[i].Availability; len(tr.Events) > 0 {
+		if tr := backends[i].Availability(); len(tr.Events) > 0 {
 			steps := make([]sim.UtilSample, len(tr.Events))
 			for ei, ev := range tr.Events {
 				steps[ei] = sim.UtilSample{At: ev.At, Used: ev.Capacity}
 			}
-			d = sim.CapacityArea(float64(cfg.Members[i].Capacity), steps, lastEnd)
+			d = sim.CapacityArea(float64(backends[i].Capacity()), steps, lastEnd)
 		} else {
 			d = m.DeliveredSlotSec
 			if lastEnd > m.LastEnd {

@@ -183,7 +183,13 @@ type simJob struct {
 	widx        int32   // index of this job's spec in the workload
 	started     bool
 	forcedOut   bool // preempted by a capacity reclaim; next start is a forced restart
-	timeline    []ReplicaSample
+	// migratedCkpt marks a job injected from another federation member with
+	// a checkpoint: its next start charges restart+restore exactly as a
+	// locally preempted job's would (the flag exists because core.enqueue
+	// resets an injected job's state to StateQueued, losing the
+	// StatePreempted marker).
+	migratedCkpt bool
+	timeline     []ReplicaSample
 }
 
 // jobSlabSize is the simJob pool's allocation chunk. Slab entries are
@@ -255,6 +261,13 @@ type Simulator struct {
 	capEvents    int
 	workLost     float64 // replica-seconds frozen by forced rescales/restarts
 	overheadArea float64 // replica-seconds frozen by ALL rescales/restarts
+
+	// Migration counters (the stepping API in step.go): injected counts
+	// jobs submitted via Inject, withdrawn counts jobs removed via
+	// Withdraw. Both stay zero on the batch path, keeping collect's legacy
+	// behaviour bit-identical.
+	injected  int
+	withdrawn int
 
 	// Aggregates accumulated incrementally at job completion, so streaming
 	// and retained runs produce bit-identical Result metrics.
@@ -338,7 +351,7 @@ func (s *Simulator) newSimJob(js *JobSpec, spec model.Spec, widx int32) *simJob 
 		MaxReplicas: spec.MaxReplicas,
 		SubmitTime:  epoch.Add(model.Duration(js.SubmitAt)),
 	}
-	if s.ranks != nil {
+	if s.ranks != nil && widx >= 0 {
 		sj.job.IDRank = s.ranks[widx]
 	}
 	if sj.job.MaxReplicas > s.cfg.Capacity {
@@ -792,7 +805,8 @@ func (a *simActuator) StartJob(j *core.Job, replicas int) error {
 		}
 	}
 	resumeOverhead := 0.0
-	if j.State == core.StatePreempted {
+	if j.State == core.StatePreempted || sj.migratedCkpt {
+		sj.migratedCkpt = false
 		// Restarting from a disk checkpoint: charge restart+restore.
 		ph := s.cfg.Machine.RescaleOverhead(sj.spec.Grid, replicas, replicas)
 		resumeOverhead = ph.Restart + ph.Restore
@@ -903,40 +917,73 @@ func (s *Simulator) resultFromTotals(cs core.CapacityStats, endCap int) Result {
 	return res
 }
 
-// collect finalizes the metrics accumulated during a sequential run.
+// collect finalizes the metrics accumulated during a sequential run. The
+// expected completion count is the workload's job count adjusted by the
+// stepping API's migration counters (jobs injected from, or withdrawn to,
+// other federation members) — both zero on the batch path.
 func (s *Simulator) collect(w Workload) (Result, error) {
-	if s.completed != len(w.Jobs) {
+	expected := len(w.Jobs) + s.injected - s.withdrawn
+	if s.completed != expected {
 		for _, sj := range s.byRef {
-			if sj.job.State != core.StateCompleted {
-				return Result{Policy: s.cfg.Policy}, fmt.Errorf("sim: job %s ended in state %v", sj.job.ID, sj.job.State)
+			if st := sj.job.State; st != core.StateCompleted && st != core.StateWithdrawn {
+				return Result{Policy: s.cfg.Policy}, fmt.Errorf("sim: job %s ended in state %v", sj.job.ID, st)
 			}
 		}
-		return Result{Policy: s.cfg.Policy}, fmt.Errorf("sim: %d of %d jobs completed", s.completed, len(w.Jobs))
+		return Result{Policy: s.cfg.Policy}, fmt.Errorf("sim: %d of %d jobs completed", s.completed, expected)
 	}
 	res := s.resultFromTotals(s.sched.CapacityStats(), s.sched.Capacity())
 	if !s.cfg.Streaming {
-		// Retained mode never recycles slots, so byRef holds every job;
-		// widx places each record back in workload order.
 		res.UtilTimeline = s.utilTL
-		res.Jobs = make([]JobMetrics, len(w.Jobs))
-		res.ReplicaTimelines = make(map[string][]ReplicaSample, len(w.Jobs))
-		for _, sj := range s.byRef {
-			res.Jobs[sj.widx] = sj.meta
-			res.ReplicaTimelines[sj.meta.ID] = sj.timeline
+		if s.injected == 0 && s.withdrawn == 0 {
+			// Retained mode never recycles slots, so byRef holds every job;
+			// widx places each record back in workload order.
+			res.Jobs = make([]JobMetrics, len(w.Jobs))
+			res.ReplicaTimelines = make(map[string][]ReplicaSample, len(w.Jobs))
+			for _, sj := range s.byRef {
+				res.Jobs[sj.widx] = sj.meta
+				res.ReplicaTimelines[sj.meta.ID] = sj.timeline
+			}
+		} else {
+			// Migration reshaped the job set: workload indices no longer
+			// cover it (injected jobs carry widx -1, withdrawn slots never
+			// completed), so gather the jobs that completed here and order
+			// them deterministically by (SubmitAt, ID).
+			res.Jobs = make([]JobMetrics, 0, s.completed)
+			res.ReplicaTimelines = make(map[string][]ReplicaSample, s.completed)
+			for _, sj := range s.byRef {
+				if sj.job.State != core.StateCompleted {
+					continue
+				}
+				res.Jobs = append(res.Jobs, sj.meta)
+				res.ReplicaTimelines[sj.meta.ID] = sj.timeline
+			}
+			sort.Slice(res.Jobs, func(a, b int) bool {
+				if res.Jobs[a].SubmitAt != res.Jobs[b].SubmitAt {
+					return res.Jobs[a].SubmitAt < res.Jobs[b].SubmitAt
+				}
+				return res.Jobs[a].ID < res.Jobs[b].ID
+			})
 		}
 	}
 	return res, nil
+}
+
+// Run constructs a simulator for cfg and runs w to completion — the single
+// entry point the RunPolicy* wrappers, the federation members, the sweeps,
+// and the migration path all build runs through.
+func Run(cfg Config, w Workload) (Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(w)
 }
 
 // RunPolicy is a convenience wrapper: simulate workload w under policy p.
 func RunPolicy(p core.Policy, w Workload, rescaleGap float64) (Result, error) {
 	cfg := DefaultConfig(p)
 	cfg.RescaleGap = rescaleGap
-	s, err := New(cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	return s.Run(w)
+	return Run(cfg, w)
 }
 
 // RunPolicyStreaming is RunPolicy in streaming mode: only the aggregate
@@ -946,11 +993,7 @@ func RunPolicyStreaming(p core.Policy, w Workload, rescaleGap float64) (Result, 
 	cfg := DefaultConfig(p)
 	cfg.RescaleGap = rescaleGap
 	cfg.Streaming = true
-	s, err := New(cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	return s.Run(w)
+	return Run(cfg, w)
 }
 
 // RunPolicyAvailability is RunPolicy under a time-varying cluster: the
@@ -960,11 +1003,7 @@ func RunPolicyAvailability(p core.Policy, w Workload, rescaleGap float64, avail 
 	cfg := DefaultConfig(p)
 	cfg.RescaleGap = rescaleGap
 	cfg.Availability = avail
-	s, err := New(cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	return s.Run(w)
+	return Run(cfg, w)
 }
 
 // RunPolicyParallel is RunPolicyStreaming in the sharded execution mode:
@@ -978,11 +1017,7 @@ func RunPolicyParallel(p core.Policy, w Workload, rescaleGap float64, shards int
 	cfg.RescaleGap = rescaleGap
 	cfg.Streaming = true
 	cfg.Shards = shards
-	s, err := New(cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	return s.Run(w)
+	return Run(cfg, w)
 }
 
 // RunPolicyAvailabilityStreaming is RunPolicyAvailability in streaming mode;
@@ -993,9 +1028,5 @@ func RunPolicyAvailabilityStreaming(p core.Policy, w Workload, rescaleGap float6
 	cfg.RescaleGap = rescaleGap
 	cfg.Availability = avail
 	cfg.Streaming = true
-	s, err := New(cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	return s.Run(w)
+	return Run(cfg, w)
 }

@@ -28,7 +28,7 @@ func TestFacadeScenarioEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	simRes, err := elastichpc.Simulate(elastichpc.Elastic, w, 180)
+	simRes, err := elastichpc.Simulate(elastichpc.Elastic, w, elastichpc.WithRescaleGap(180))
 	if err != nil {
 		t.Fatal(err)
 	}
