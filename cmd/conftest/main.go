@@ -1,0 +1,250 @@
+// Command conftest records, replays, and diffs scheduler decision streams,
+// and runs the full conformance equivalence matrix — the CLI face of
+// internal/conformance, so a failing CI cell reproduces locally from an
+// artifact.
+//
+// Modes (exactly one):
+//
+//	conftest -record [spec flags] [-out stream.json]
+//	    Execute the spec and write its recorded stream.
+//	conftest -replay stream.json [-out replayed.json]
+//	    Re-execute the run described by a stream's meta and diff the new
+//	    stream against the recording. Exit 1 on divergence.
+//	conftest -diff a.json b.json
+//	    Structurally diff two recorded streams. Exit 1 on divergence.
+//	conftest -matrix [-artifacts dir]
+//	    Run the equivalence matrix; on divergence, write each cell's
+//	    reference and candidate streams under dir. Exit 1 on divergence.
+//
+// Spec flags (with -record): -backend sim|cluster|federation, -scenario
+// uniform|burst, -jobs, -gap, -waves, -seed, -policy, -capacity,
+// -rescale-gap, -shards, -streaming, -full, -log, -drain, -aging,
+// -preempt; federation only: -route, -members, -skew, -rebalance,
+// -migrate-running, -workers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"elastichpc/internal/conformance"
+	"elastichpc/internal/core"
+	"elastichpc/internal/federation"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		record = flag.Bool("record", false, "execute the spec flags and write the recorded stream")
+		replay = flag.String("replay", "", "stream file to re-execute from its meta and verify")
+		doDiff = flag.Bool("diff", false, "diff the two stream files given as arguments")
+		matrix = flag.Bool("matrix", false, "run the conformance equivalence matrix")
+
+		out       = flag.String("out", "", "output path for the recorded stream (default stdout)")
+		artifacts = flag.String("artifacts", "", "directory for diverging matrix streams")
+		window    = flag.Int("window", conformance.DefaultWindow, "decisions of context around a divergence")
+
+		backend  = flag.String("backend", "sim", "execution backend: sim, cluster, federation")
+		scenario = flag.String("scenario", "uniform", "workload shape: uniform, burst")
+		jobs     = flag.Int("jobs", 60, "total job count")
+		gap      = flag.Float64("gap", 0, "inter-arrival or wave gap in seconds (0 = scenario default)")
+		waves    = flag.Int("waves", 3, "burst wave count")
+		seed     = flag.Int64("seed", 1, "workload generator seed")
+		policy   = flag.String("policy", "elastic", "scheduling policy")
+		capacity = flag.Int("capacity", 0, "cluster slot count (0 = backend default)")
+		rescale  = flag.Float64("rescale-gap", 0, "rescale gap in seconds (0 = default)")
+		shards   = flag.Int("shards", 0, "sharded event-loop width (sim backend)")
+		stream   = flag.Bool("streaming", false, "streaming mode: aggregates only")
+		full     = flag.Bool("full", false, "reference full-redistribute scheduler")
+		logDec   = flag.Bool("log", true, "record the decision log")
+		drain    = flag.Bool("drain", false, "overlay a maintenance-drain availability trace")
+		aging    = flag.Float64("aging", 0, "queue aging rate")
+		preempt  = flag.Bool("preempt", false, "enable preemption")
+
+		route          = flag.String("route", "round_robin", "federation routing policy")
+		members        = flag.Int("members", 3, "federation member count")
+		skew           = flag.Float64("skew", 0, "federation capacity skew")
+		rebalance      = flag.Float64("rebalance", 0, "rebalance round interval in seconds (0 = off)")
+		migrateRunning = flag.Bool("migrate-running", false, "let the rebalancer move running jobs")
+		workers        = flag.Int("workers", 0, "member worker pool (0 = all CPUs, 1 = sequential)")
+	)
+	flag.Parse()
+
+	modes := 0
+	for _, on := range []bool{*record, *replay != "", *doDiff, *matrix} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "conftest: exactly one of -record, -replay, -diff, -matrix is required")
+		flag.Usage()
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "conftest:", err)
+		return 2
+	}
+
+	switch {
+	case *doDiff:
+		if flag.NArg() != 2 {
+			return fail(fmt.Errorf("-diff needs two stream files, got %d args", flag.NArg()))
+		}
+		return diffFiles(flag.Arg(0), flag.Arg(1), *window)
+
+	case *matrix:
+		return runMatrix(*artifacts, *window)
+
+	case *replay != "":
+		return replayFile(*replay, *out, *window)
+
+	default: // -record
+		p, err := core.PolicyByName(*policy)
+		if err != nil {
+			return fail(err)
+		}
+		r, err := federation.RouteByName(*route)
+		if err != nil {
+			return fail(err)
+		}
+		spec := conformance.RunSpec{
+			Backend: *backend, Scenario: *scenario, Jobs: *jobs, Gap: *gap,
+			Waves: *waves, Seed: *seed, Policy: p, Capacity: *capacity,
+			RescaleGap: *rescale, Shards: *shards, Streaming: *stream,
+			Full: *full, Log: *logDec, Drain: *drain, Aging: *aging,
+			Preempt: *preempt, Route: r, Members: *members, Skew: *skew,
+			RebalanceEvery: *rebalance, MigrateRunning: *migrateRunning,
+			Workers: *workers,
+		}
+		st, err := spec.Execute()
+		if err != nil {
+			return fail(err)
+		}
+		if err := emit(st, *out); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+}
+
+// emit writes a stream to the -out path, or stdout when unset.
+func emit(st *conformance.Stream, out string) error {
+	if out == "" {
+		return st.Save(os.Stdout)
+	}
+	if err := st.SaveFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d decisions to %s\n", len(st.Decisions), out)
+	return nil
+}
+
+// diffFiles loads and structurally diffs two streams.
+func diffFiles(aPath, bPath string, window int) int {
+	a, err := conformance.LoadFile(aPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conftest:", err)
+		return 2
+	}
+	b, err := conformance.LoadFile(bPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conftest:", err)
+		return 2
+	}
+	d := conformance.Compare(a, b)
+	fmt.Print(d.Format(a, b, window))
+	if d.Empty() {
+		return 0
+	}
+	return 1
+}
+
+// replayFile re-executes a recorded stream's spec and diffs old vs new.
+func replayFile(path, out string, window int) int {
+	recorded, err := conformance.LoadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conftest:", err)
+		return 2
+	}
+	spec, err := conformance.SpecFromMeta(recorded.Meta)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conftest:", err)
+		return 2
+	}
+	replayed, err := spec.Execute()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conftest:", err)
+		return 2
+	}
+	if out != "" {
+		if err := replayed.SaveFile(out); err != nil {
+			fmt.Fprintln(os.Stderr, "conftest:", err)
+			return 2
+		}
+	}
+	d := conformance.Compare(recorded, replayed)
+	if d.Empty() {
+		fmt.Printf("replay of %s reproduced the recording: %d decisions identical\n",
+			path, len(recorded.Decisions))
+		return 0
+	}
+	fmt.Printf("replay of %s DIVERGED:\n%s", path, d.Format(recorded, replayed, window))
+	return 1
+}
+
+// runMatrix executes the full equivalence matrix, saving diverging streams
+// under the artifacts directory.
+func runMatrix(artifacts string, window int) int {
+	opt := conformance.DefaultMatrixOptions()
+	opt.Window = window
+	fails, cases, err := conformance.RunMatrix(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conftest:", err)
+		return 2
+	}
+	if len(fails) == 0 {
+		fmt.Printf("conformance matrix: %d cases, all streams identical\n", cases)
+		return 0
+	}
+	fmt.Printf("conformance matrix: %d of %d cases diverged\n", len(fails), cases)
+	for i, f := range fails {
+		fmt.Printf("\n--- %s (candidate %s) ---\n%s", f.Case, f.Candidate, f.Report)
+		if artifacts == "" {
+			continue
+		}
+		base := filepath.Join(artifacts, fmt.Sprintf("%03d-%s-%s",
+			i, sanitize(f.Case), sanitize(f.Candidate)))
+		if err := os.MkdirAll(artifacts, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "conftest:", err)
+			return 2
+		}
+		for suffix, st := range map[string]*conformance.Stream{"ref": f.Ref, "got": f.Got} {
+			if err := st.SaveFile(base + "." + suffix + ".json"); err != nil {
+				fmt.Fprintln(os.Stderr, "conftest:", err)
+				return 2
+			}
+		}
+		fmt.Printf("streams saved to %s.{ref,got}.json\n", base)
+	}
+	return 1
+}
+
+// sanitize makes a case name filesystem-safe.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

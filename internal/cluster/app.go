@@ -192,9 +192,17 @@ func (m *modelApps) Stop(job *operator.CharmJob) {
 // discrete-event simulator does, so any scenario generator drives both
 // backends.
 func RunExperiment(cfg Config, w workload.Workload) (sim.Result, error) {
+	res, _, err := RunRecorded(cfg, w)
+	return res, err
+}
+
+// RunRecorded is RunExperiment plus the scheduler's decision log (nil
+// unless Config.LogDecisions) — the cluster backend's entry point for the
+// conformance harness.
+func RunRecorded(cfg Config, w workload.Workload) (sim.Result, []core.Decision, error) {
 	c, err := New(cfg)
 	if err != nil {
-		return sim.Result{}, err
+		return sim.Result{}, nil, err
 	}
 	specs := model.Specs()
 	for _, js := range w.Jobs {
@@ -218,9 +226,9 @@ func RunExperiment(cfg Config, w workload.Workload) (sim.Result, error) {
 		c.Submit(job, time.Duration(js.SubmitAt*float64(time.Second)))
 	}
 	if err := c.Run(len(w.Jobs), 10_000_000); err != nil {
-		return sim.Result{}, err
+		return sim.Result{}, nil, err
 	}
-	return c.Result(), nil
+	return c.Result(), c.Decisions(), nil
 }
 
 // Table1Actual runs the fixed Table 1 workload through the full emulation

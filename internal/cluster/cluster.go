@@ -39,6 +39,10 @@ type Config struct {
 	// every submitted job, bounding the work a forced preemption loses
 	// (§3.2.2). 0 means preempted jobs restart from scratch.
 	CheckpointPeriod int
+	// LogDecisions enables the policy scheduler's decision log
+	// (core.Config.EnableLog), retrievable via Decisions after a run —
+	// the cluster backend's hook into the conformance harness.
+	LogDecisions bool
 }
 
 // DefaultConfig matches the paper's cluster.
@@ -120,6 +124,7 @@ func New(cfg Config) (*Cluster, error) {
 		Policy:     cfg.Policy,
 		Capacity:   cfg.Nodes * cfg.CPUPerNode,
 		RescaleGap: cfg.RescaleGap,
+		EnableLog:  cfg.LogDecisions,
 	})
 	if err != nil {
 		return nil, err
@@ -173,6 +178,12 @@ func (c *Cluster) fail(err error) {
 
 // Err returns the first error captured from an event-loop callback, or nil.
 func (c *Cluster) Err() error { return c.runErr }
+
+// Decisions returns the policy scheduler's decision log, oldest first
+// (empty unless Config.LogDecisions).
+func (c *Cluster) Decisions() []core.Decision {
+	return c.Mgr.Scheduler().Log()
+}
 
 // SetCapacityAt schedules a cluster-capacity change at the given offset from
 // start — the same path availability-trace events take. Unlike the trace

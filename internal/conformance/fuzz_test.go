@@ -1,0 +1,74 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"elastichpc/internal/core"
+	"elastichpc/internal/sim"
+)
+
+// fuzzScenario derives a bounded scenario from a fuzzer-chosen seed: the
+// seed drives the same generator the property tests use, truncated so one
+// fuzz execution stays fast.
+func fuzzScenario(seed int64) Scenario {
+	sc := RandomScenario(rand.New(rand.NewSource(seed)))
+	if sc.Jobs() > 48 {
+		sc.Workload.Jobs = sc.Workload.Jobs[:48]
+	}
+	return sc
+}
+
+// FuzzIncrementalEquivalence fuzzes the incremental scheduler's contract:
+// any generated scenario × policy must produce a decision stream identical
+// to the full-redistribute reference.
+func FuzzIncrementalEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(7), uint8(1))
+	f.Add(int64(42), uint8(2))
+	f.Add(int64(1234), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, policyIdx uint8) {
+		sc := fuzzScenario(seed)
+		p := core.AllPolicies()[int(policyIdx)%4]
+		report, err := scenarioDivergence(sc, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report != "" {
+			t.Fatalf("seed %d policy %s diverged:\n%s", seed, p, report)
+		}
+	})
+}
+
+// FuzzShardEquivalence fuzzes the sharded event loop's contract: any
+// generated scenario × policy × shard width must match the sequential
+// reference exactly.
+func FuzzShardEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(2))
+	f.Add(int64(7), uint8(1), uint8(8))
+	f.Add(int64(42), uint8(3), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, policyIdx, shardWidth uint8) {
+		sc := fuzzScenario(seed)
+		p := core.AllPolicies()[int(policyIdx)%4]
+		shards := 2 + int(shardWidth)%7
+		run := func(shards int) (*Stream, error) {
+			cfg := sim.DefaultConfig(p)
+			cfg.Availability = sc.Trace
+			cfg.LogDecisions = true
+			cfg.Shards = shards
+			return RecordSim(cfg, sc.Workload)
+		}
+		ref, err := run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := run(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := Compare(ref, got); !d.Empty() {
+			t.Fatalf("seed %d policy %s shards %d diverged:\n%s",
+				seed, p, shards, d.Format(ref, got, 0))
+		}
+	})
+}

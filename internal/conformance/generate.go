@@ -1,0 +1,148 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"elastichpc/internal/model"
+	"elastichpc/internal/sim"
+	"elastichpc/internal/workload"
+)
+
+// Scenario is one randomly generated equivalence input: a workload plus an
+// optional availability trace. The property tests and fuzz targets generate
+// Scenarios, run them through two execution modes, and require identical
+// streams; Shrink minimizes a failing one.
+type Scenario struct {
+	Name     string
+	Workload sim.Workload
+	Trace    workload.AvailabilityTrace
+}
+
+// Jobs is the scenario's job count.
+func (sc Scenario) Jobs() int { return len(sc.Workload.Jobs) }
+
+// generation bounds. Capacities stay in [minRandomCap, randomCapacity] so
+// every scenario remains feasible for the rigid policies (XLarge pins 16
+// replicas, so a trace must never drop below 16 slots).
+const (
+	randomCapacity = 64
+	minRandomCap   = 16
+	maxRandomJobs  = 64
+)
+
+// RandomScenario draws a property-test scenario from rng: 8–64 jobs with
+// random classes and priorities, mostly-dense arrivals salted with
+// same-instant ties (the tie-break regime) and occasional multi-thousand-
+// second gaps (drain/idle boundaries), plus — half the time — a random
+// availability trace.
+func RandomScenario(rng *rand.Rand) Scenario {
+	n := 8 + rng.Intn(maxRandomJobs-8+1)
+	jobs := make([]workload.JobSpec, n)
+	at := 0.0
+	for i := range jobs {
+		switch rng.Intn(8) {
+		case 0:
+			// Same-instant tie with the previous job.
+		case 1:
+			// A long quiet hole: lets the cluster drain and re-idle.
+			at += 2000 + float64(rng.Intn(4001))
+		default:
+			at += float64(rng.Intn(241))
+		}
+		jobs[i] = workload.JobSpec{
+			ID:       fmt.Sprintf("p%03d", i),
+			Class:    model.AllClasses()[rng.Intn(4)],
+			Priority: 1 + rng.Intn(5),
+			SubmitAt: at,
+		}
+	}
+	sc := Scenario{
+		Name:     fmt.Sprintf("random-%djobs", n),
+		Workload: sim.Workload{Jobs: jobs},
+	}
+	if rng.Intn(2) == 0 {
+		span := at + 3600
+		events := make([]workload.CapacityEvent, 0, 6)
+		t := 0.0
+		for len(events) < 4 {
+			t += span / float64(5+rng.Intn(8))
+			if t >= span {
+				break
+			}
+			events = append(events, workload.CapacityEvent{
+				At:       t,
+				Capacity: minRandomCap + rng.Intn(randomCapacity-minRandomCap+1),
+			})
+		}
+		sc.Trace = workload.AvailabilityTrace{Events: events}.WithRestore(randomCapacity, span)
+		sc.Name += "-trace"
+	}
+	return sc
+}
+
+// Shrink minimizes a failing scenario with ddmin-style chunk removal: it
+// repeatedly tries dropping halves, quarters, … of the job list (then of
+// the trace events, preserving the final restore event) and keeps any cut
+// on which fails still returns true. The result is a (locally) 1-minimal
+// scenario that still fails, which is what gets reported.
+func Shrink(sc Scenario, fails func(Scenario) bool) Scenario {
+	for pass := 0; pass < 8; pass++ {
+		shrunk := false
+		if next, ok := shrinkJobs(sc, fails); ok {
+			sc, shrunk = next, true
+		}
+		if next, ok := shrinkTrace(sc, fails); ok {
+			sc, shrunk = next, true
+		}
+		if !shrunk {
+			break
+		}
+	}
+	sc.Name += fmt.Sprintf("-shrunk-%djobs", sc.Jobs())
+	return sc
+}
+
+// shrinkJobs tries removing job chunks at granularities 1/2, 1/4, … down to
+// single jobs, returning the smallest failing cut it finds this pass.
+func shrinkJobs(sc Scenario, fails func(Scenario) bool) (Scenario, bool) {
+	improved := false
+	for chunk := len(sc.Workload.Jobs) / 2; chunk >= 1; chunk /= 2 {
+		for lo := 0; lo+chunk <= len(sc.Workload.Jobs); {
+			if len(sc.Workload.Jobs)-chunk < 1 {
+				break
+			}
+			jobs := append([]workload.JobSpec(nil), sc.Workload.Jobs[:lo]...)
+			jobs = append(jobs, sc.Workload.Jobs[lo+chunk:]...)
+			cand := sc
+			cand.Workload = sim.Workload{Jobs: jobs}
+			if fails(cand) {
+				sc = cand
+				improved = true
+				// Re-try the same offset: the next chunk slid into it.
+			} else {
+				lo += chunk
+			}
+		}
+	}
+	return sc, improved
+}
+
+// shrinkTrace tries removing capacity events one at a time, keeping the
+// final event (the feasibility restore) in place.
+func shrinkTrace(sc Scenario, fails func(Scenario) bool) (Scenario, bool) {
+	improved := false
+	for i := 0; i < len(sc.Trace.Events)-1; {
+		events := append([]workload.CapacityEvent(nil), sc.Trace.Events[:i]...)
+		events = append(events, sc.Trace.Events[i+1:]...)
+		cand := sc
+		cand.Trace = workload.AvailabilityTrace{Events: events}
+		if fails(cand) {
+			sc = cand
+			improved = true
+		} else {
+			i++
+		}
+	}
+	return sc, improved
+}

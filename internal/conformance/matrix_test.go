@@ -1,0 +1,28 @@
+package conformance
+
+import "testing"
+
+// TestMatrixEquivalence runs the full equivalence matrix — every sim,
+// extension, federation, and cluster cell — and fails with the differ's
+// divergence window on any non-identical stream. The race-equivalence CI
+// job re-runs it under -race at two GOMAXPROCS widths.
+func TestMatrixEquivalence(t *testing.T) {
+	opt := DefaultMatrixOptions()
+	if testing.Short() {
+		opt.Seeds = opt.Seeds[:1]
+		opt.Cluster = false
+	}
+	for _, c := range Cases(opt) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			fails, err := c.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range fails {
+				t.Errorf("%s: candidate %s diverged:\n%s", f.Case, f.Candidate, f.Report)
+			}
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package conformance
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"elastichpc/internal/core"
+	"elastichpc/internal/federation"
+)
+
+func TestSpecMetaRoundTrip(t *testing.T) {
+	specs := []RunSpec{
+		{},
+		{Backend: "sim", Scenario: "burst", Jobs: 48, Gap: 3000, Waves: 3, Seed: 5,
+			Policy: core.Elastic, Capacity: 32, Shards: 8, Streaming: true, Log: true,
+			Drain: true, Aging: 0.01, Preempt: true},
+		{Backend: "cluster", Scenario: "uniform", Jobs: 12, Gap: 90, Seed: 4,
+			Policy: core.Moldable, Log: true},
+		{Backend: "federation", Scenario: "burst", Jobs: 96, Gap: 1200, Waves: 6,
+			Seed: 3, Policy: core.RigidMax, Capacity: 16, Route: federation.LeastLoaded,
+			Members: 3, Skew: 1.5, RebalanceEvery: 300, MigrateRunning: true, Workers: 1,
+			Log: true},
+	}
+	for _, s := range specs {
+		got, err := SpecFromMeta(s.Meta())
+		if err != nil {
+			t.Errorf("spec %+v: %v", s, err)
+			continue
+		}
+		if !reflect.DeepEqual(s, got) {
+			t.Errorf("meta round-trip changed the spec:\nin:  %+v\nout: %+v", s, got)
+		}
+	}
+}
+
+func TestSpecFromMetaRejectsUnknownKeys(t *testing.T) {
+	if _, err := SpecFromMeta(map[string]string{"policy": "elastic", "warp": "9"}); err == nil {
+		t.Error("unknown meta key accepted")
+	}
+	if _, err := SpecFromMeta(map[string]string{"policy": "turbo"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := SpecFromMeta(map[string]string{"jobs": "many"}); err == nil {
+		t.Error("unparseable int accepted")
+	}
+}
+
+// TestSpecReplayReproduces is the acceptance criterion behind
+// `conftest -replay`: executing a spec, saving its stream, loading it back,
+// reconstructing the spec from the stream's Meta, and executing again must
+// reproduce the identical stream — decisions, migrations, and bit-exact
+// summaries.
+func TestSpecReplayReproduces(t *testing.T) {
+	specs := map[string]RunSpec{
+		"sim": {Backend: "sim", Scenario: "burst", Jobs: 48, Gap: 3000, Waves: 3,
+			Seed: 5, Policy: core.Elastic, Log: true, Drain: true},
+		"sim-sharded": {Backend: "sim", Scenario: "uniform", Jobs: 60, Gap: 45,
+			Seed: 7, Policy: core.Moldable, Shards: 4, Log: true},
+		"federation-rebalance": {Backend: "federation", Scenario: "burst", Jobs: 96,
+			Gap: 1200, Waves: 6, Seed: 3, Policy: core.Elastic, Capacity: 16,
+			Route: federation.RoundRobin, Members: 3, Skew: 1.5,
+			RebalanceEvery: 300, MigrateRunning: true, Drain: true, Log: true},
+	}
+	for name, spec := range specs {
+		spec := spec
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			recorded, err := spec.Execute()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), "stream.json")
+			if err := recorded.SaveFile(path); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replaySpec, err := SpecFromMeta(loaded.Meta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replayed, err := replaySpec.Execute()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := Compare(loaded, replayed); !d.Empty() {
+				t.Fatalf("replay diverged from the recording:\n%s", d.Format(loaded, replayed, 0))
+			}
+		})
+	}
+}
+
+// TestSpecValidation: bad specs fail loudly instead of running the wrong
+// scenario.
+func TestSpecValidation(t *testing.T) {
+	bad := map[string]RunSpec{
+		"backend":       {Backend: "quantum"},
+		"scenario":      {Scenario: "tsunami"},
+		"burst-divides": {Scenario: "burst", Jobs: 50, Waves: 3},
+		"cluster-nodes": {Backend: "cluster", Capacity: 30},
+	}
+	for name, spec := range bad {
+		if _, err := spec.Execute(); err == nil {
+			t.Errorf("%s: bad spec executed", name)
+		}
+	}
+}

@@ -44,6 +44,17 @@ func (p Policy) String() string {
 // AllPolicies lists the four policies in the paper's presentation order.
 func AllPolicies() []Policy { return []Policy{RigidMin, RigidMax, Moldable, Elastic} }
 
+// PolicyByName resolves a policy's flag-friendly name (as produced by
+// Policy.String) back to its Policy.
+func PolicyByName(name string) (Policy, error) {
+	for _, p := range AllPolicies() {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf(`core: unknown policy %q (have "min_replicas", "max_replicas", "moldable", "elastic")`, name)
+}
+
 // Actuator is the substrate the scheduler drives: the DES simulator or the
 // Kubernetes operator. Each call may fail (e.g. the application declined the
 // rescale, or pods could not be placed); the scheduler treats failures as

@@ -56,6 +56,80 @@ func TestSchedulerStateRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSchedulerStateMidEpochRoundTrip pins the snapshot/restore contract at
+// the hardest instant: mid-epoch, with running jobs, queued jobs, a
+// checkpoint-preempted job in the waiting set, and a rescale-gap kick still
+// pending. The restored scheduler must reproduce the snapshot bit for bit,
+// report the same pending kick deadline, and then stay behaviorally
+// identical to the original through a further submit / gap-expiry /
+// completion sequence.
+func TestSchedulerStateMidEpochRoundTrip(t *testing.T) {
+	src, sclk := populatedSched(t)
+	// A deep capacity drop shrinks what it can and checkpoint-preempts the
+	// rest; the raise that follows leaves free slots in front of gap-blocked
+	// below-max jobs, so a rescale-gap kick goes (and stays) pending.
+	if err := src.SetCapacity(3); err != nil {
+		t.Fatalf("capacity drop: %v", err)
+	}
+	if err := src.SetCapacity(10); err != nil {
+		t.Fatalf("capacity raise: %v", err)
+	}
+	st := src.ExportState()
+	if len(st.Running) == 0 || len(st.Queued) == 0 {
+		t.Fatalf("scenario lost its point: %d running, %d queued", len(st.Running), len(st.Queued))
+	}
+	preempted := false
+	for _, j := range st.Queued {
+		if j.State == StatePreempted {
+			preempted = true
+		}
+	}
+	if !preempted {
+		t.Fatal("scenario lost its point: no checkpoint-preempted job in the waiting set")
+	}
+	srcKick, srcOK := src.NextGapExpiry()
+	if !srcOK {
+		t.Fatal("scenario lost its point: no pending rescale-gap kick")
+	}
+
+	dst, _, dclk := newSched(t, Config{Policy: Elastic, Capacity: 16, RescaleGap: time.Minute})
+	dclk.t = sclk.t // the kick deadline is wall-clock-relative
+	if err := dst.RestoreState(st); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	back := dst.ExportState()
+	if !reflect.DeepEqual(st, back) {
+		t.Fatalf("mid-epoch round trip diverged:\nexported: %+v\nrestored: %+v", st, back)
+	}
+	dstKick, dstOK := dst.NextGapExpiry()
+	if !dstOK {
+		t.Fatal("restored scheduler lost the pending kick")
+	}
+	if !dstKick.Equal(srcKick) {
+		t.Errorf("restored kick deadline %v, want %v", dstKick, srcKick)
+	}
+
+	// Drive both schedulers through the identical rest of the epoch: a new
+	// arrival, the gap expiring, and a completion. Every exported state must
+	// stay equal — the restore carried all scheduling-relevant state.
+	completeID := st.Running[0].ID
+	step := func(s *Scheduler, clk *testClock) SchedulerState {
+		f := job("f", 4, 2, 8)
+		f.SubmitTime = clk.t
+		if err := s.Submit(f); err != nil {
+			t.Fatalf("submit f: %v", err)
+		}
+		clk.advance(2 * time.Minute) // clear every rescale gap
+		s.Reschedule()
+		s.OnJobComplete(findRestoredJob(t, s, completeID))
+		return s.ExportState()
+	}
+	after, afterBack := step(src, sclk), step(dst, dclk)
+	if !reflect.DeepEqual(after, afterBack) {
+		t.Errorf("post-restore behavior diverged:\noriginal: %+v\nrestored: %+v", after, afterBack)
+	}
+}
+
 // TestRestoreStateAllocatesFreshJobs checks the restore's isolation: the
 // restored scheduler must not share Job records with the snapshot (or with
 // the exporting scheduler), while preserving Ref for driver re-attachment.

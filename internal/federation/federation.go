@@ -147,6 +147,11 @@ type Result struct {
 	Requeues       int
 	WorkLostSec    float64
 	GoodputFrac    float64
+	// MemberDecisions holds each member scheduler's decision log, in member
+	// order — the conformance harness's raw material. It is nil unless at
+	// least one member ran with decision logging enabled, so runs without
+	// logging produce a Result identical to pre-recording builds.
+	MemberDecisions [][]core.Decision
 }
 
 // fleetView projects the fleet aggregates onto sim.Result so the sweep can
@@ -189,12 +194,13 @@ func Run(cfg Config, w sim.Workload) (Result, error) {
 	}
 	backends := cfg.backends()
 	members := make([]sim.Result, len(parts))
+	decs := make([][]core.Decision, len(parts))
 	err = sim.RunTasks(len(parts), cfg.Workers, func(i int) error {
-		res, err := backends[i].Run(parts[i])
+		res, dec, err := runMember(backends[i], parts[i])
 		if err != nil {
 			return fmt.Errorf("federation: member %d: %w", i, err)
 		}
-		members[i] = res
+		members[i], decs[i] = res, dec
 		return nil
 	})
 	if err != nil {
@@ -204,7 +210,20 @@ func Run(cfg Config, w sim.Workload) (Result, error) {
 	for i := range parts {
 		counts[i] = len(parts[i].Jobs)
 	}
-	return aggregate(cfg, backends, counts, members), nil
+	res := aggregate(cfg, backends, counts, members)
+	res.MemberDecisions = memberDecisions(decs)
+	return res, nil
+}
+
+// memberDecisions normalizes collected member logs: nil when no member
+// logged anything, the full per-member slice otherwise.
+func memberDecisions(decs [][]core.Decision) [][]core.Decision {
+	for _, d := range decs {
+		if len(d) > 0 {
+			return decs
+		}
+	}
+	return nil
 }
 
 // aggregate folds the member results into the fleet metrics, always in

@@ -31,6 +31,24 @@ type Member interface {
 	Run(w sim.Workload) (sim.Result, error)
 }
 
+// recordedMember is the optional Member extension the conformance harness
+// uses: a backend whose run also returns the scheduler's decision log. Both
+// built-in backends implement it; a custom Member that does not simply
+// contributes an empty log to Result.MemberDecisions.
+type recordedMember interface {
+	RunRecorded(w sim.Workload) (sim.Result, []core.Decision, error)
+}
+
+// runMember runs one member's sub-workload, preferring the recorded path
+// when the backend offers one.
+func runMember(m Member, w sim.Workload) (sim.Result, []core.Decision, error) {
+	if rm, ok := m.(recordedMember); ok {
+		return rm.RunRecorded(w)
+	}
+	res, err := m.Run(w)
+	return res, nil, err
+}
+
 // stepBackend is the optional Member extension the rebalancer needs: a
 // backend that can expose its run as a steppable simulator. Only
 // simulator-backed members implement it — the cluster emulation has no
@@ -63,6 +81,20 @@ func (m SimMember) Policy() core.Policy { return m.Config.Policy }
 
 // Run implements Member via the sim.Run choke point.
 func (m SimMember) Run(w sim.Workload) (sim.Result, error) { return sim.Run(m.Config, w) }
+
+// RunRecorded is Run plus the member scheduler's decision log (nil unless
+// the member config sets LogDecisions).
+func (m SimMember) RunRecorded(w sim.Workload) (sim.Result, []core.Decision, error) {
+	s, err := sim.New(m.Config)
+	if err != nil {
+		return sim.Result{}, nil, err
+	}
+	res, err := s.Run(w)
+	if err != nil {
+		return sim.Result{}, nil, err
+	}
+	return res, s.Decisions(), nil
+}
 
 // newStepper builds the steppable simulator the rebalancer co-simulates.
 // Stepping is inherently sequential per member (the fleet parallelizes
@@ -99,4 +131,10 @@ func (m ClusterMember) Policy() core.Policy { return m.Config.Policy }
 // Run implements Member on the emulation backend.
 func (m ClusterMember) Run(w sim.Workload) (sim.Result, error) {
 	return cluster.RunExperiment(m.Config, w)
+}
+
+// RunRecorded is Run plus the emulated scheduler's decision log (nil unless
+// the member config sets LogDecisions).
+func (m ClusterMember) RunRecorded(w sim.Workload) (sim.Result, []core.Decision, error) {
+	return cluster.RunRecorded(m.Config, w)
 }

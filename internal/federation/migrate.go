@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"elastichpc/internal/core"
 	"elastichpc/internal/model"
 	"elastichpc/internal/sim"
 )
@@ -181,12 +182,13 @@ func runRebalanced(cfg Config, w sim.Workload) (Result, error) {
 	}
 
 	members := make([]sim.Result, n)
+	decs := make([][]core.Decision, n)
 	err = sim.RunTasks(n, cfg.Workers, func(i int) error {
 		res, err := sims[i].Finish()
 		if err != nil {
 			return fmt.Errorf("federation: member %d: %w", i, err)
 		}
-		members[i] = res
+		members[i], decs[i] = res, sims[i].Decisions()
 		return nil
 	})
 	if err != nil {
@@ -195,6 +197,7 @@ func runRebalanced(cfg Config, w sim.Workload) (Result, error) {
 	res := aggregate(cfg, backends, counts, members)
 	res.Migrations = migs
 	res.RebalanceRounds = rounds
+	res.MemberDecisions = memberDecisions(decs)
 	return res, nil
 }
 

@@ -33,41 +33,12 @@ func rebalanceFleet() Config {
 	}
 }
 
-// TestMigrationDeterminismEquivalence pins the rebalancer's determinism
-// contract: the same (config, workload) must yield an identical migration
-// log, round count, and bit-identical fleet Result whether the members step
-// sequentially or on a parallel worker pool, and across repeated runs. The
-// race-equivalence CI job re-runs this under -race at two GOMAXPROCS widths.
-func TestMigrationDeterminismEquivalence(t *testing.T) {
-	w := testWorkload(t, 96)
-	run := func(workers int) Result {
-		cfg := rebalanceFleet()
-		cfg.Workers = workers
-		res, err := Run(cfg, w)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res
-	}
-	seq := run(1)
-	if len(seq.Migrations) == 0 {
-		t.Fatal("scenario produced no migrations; the equivalence would be vacuous")
-	}
-	if seq.RebalanceRounds == 0 {
-		t.Fatal("no rebalance rounds recorded")
-	}
-	for name, res := range map[string]Result{
-		"parallel workers": run(0),
-		"repeated run":     run(1),
-	} {
-		if !reflect.DeepEqual(seq.Migrations, res.Migrations) {
-			t.Errorf("%s: migration log diverged:\nseq: %+v\ngot: %+v", name, seq.Migrations, res.Migrations)
-		}
-		if !reflect.DeepEqual(seq, res) {
-			t.Errorf("%s: fleet result diverged from sequential", name)
-		}
-	}
-}
+// The rebalancer's determinism contract — identical migration log, round
+// count, and bit-identical fleet result whether members step sequentially
+// or in parallel, and across repeated runs — is pinned by the conformance
+// harness's federation matrix cells (internal/conformance, run under -race
+// by the race-equivalence CI job), which record and diff every member's
+// decision stream as well.
 
 // TestRebalanceImprovesImbalance is the tentpole's acceptance scenario: a
 // fleet whose round-robin deal overloads a small member must, with the

@@ -17,11 +17,12 @@ import (
 // SchemaVersion is the report format generation written by New. Version 2
 // added the resilience aggregates (capacity events, preemptions survived,
 // requeues, work lost, goodput) to Run; version 3 added the federation
-// fields (route, imbalance, and per-cluster member sub-runs). Readers accept
+// fields (route, imbalance, and per-cluster member sub-runs); version 4
+// added the rebalancer activity (migration and round counts). Readers accept
 // every generation back to MinReadableSchema — older fields are a strict
-// subset, so v1 and v2 reports decode losslessly — and reject newer
+// subset, so v1 through v3 reports decode losslessly — and reject newer
 // generations rather than misinterpreting them.
-const SchemaVersion = 3
+const SchemaVersion = 4
 
 // MinReadableSchema is the oldest report generation Validate accepts.
 const MinReadableSchema = 1
@@ -77,6 +78,11 @@ type Run struct {
 	Route     string  `json:"route,omitempty"`
 	Imbalance float64 `json:"imbalance,omitempty"`
 	Members   []Run   `json:"members,omitempty"`
+	// Rebalancer activity (schema v4; absent unless the elastic federation
+	// ran with rebalancing on). Counts are float64 so seed-averaged sweep
+	// cells keep their fractional means.
+	Migrations      float64 `json:"migrations,omitempty"`
+	RebalanceRounds float64 `json:"rebalance_rounds,omitempty"`
 }
 
 // Sweep is one parameter sweep: per-policy metrics at each x.
@@ -200,6 +206,8 @@ func FromFederation(name string, res federation.Result) Run {
 		Goodput:            res.GoodputFrac,
 		Route:              res.Route.String(),
 		Imbalance:          res.Imbalance,
+		Migrations:         float64(len(res.Migrations)),
+		RebalanceRounds:    float64(res.RebalanceRounds),
 	}
 	for i, m := range res.Members {
 		member := FromResult(fmt.Sprintf("cluster%d", i), m)

@@ -29,6 +29,7 @@ func goldenReport() Report {
 		{Name: "federation", Policy: "elastic", Jobs: 32, TotalTime: 1500, Utilization: 0.7,
 			WeightedResponse: 90, WeightedCompletion: 500,
 			Route: "least_loaded", Imbalance: 0.05,
+			Migrations: 4, RebalanceRounds: 7,
 			Members: []Run{
 				{Name: "cluster0", Policy: "elastic", Jobs: 20, TotalTime: 1500, Utilization: 0.72,
 					WeightedResponse: 95, WeightedCompletion: 520},
@@ -109,8 +110,28 @@ func TestReadsSchemaV2Golden(t *testing.T) {
 	}
 }
 
+// TestReadsSchemaV3Golden pins backward compatibility one generation up: a
+// report written by the schema-3 generation (federation fields, no
+// rebalancer fields) must keep loading under the v4 reader.
+func TestReadsSchemaV3Golden(t *testing.T) {
+	r, err := Read(filepath.Join("testdata", "report_v3.golden.json"))
+	if err != nil {
+		t.Fatalf("v3 report no longer readable: %v", err)
+	}
+	if r.Schema != 3 || r.Kind != KindSweep {
+		t.Errorf("schema %d kind %q, want 3/sweep", r.Schema, r.Kind)
+	}
+	run := r.Runs[0]
+	if run.Route != "least_loaded" || run.Imbalance != 0.05 || len(run.Members) != 2 {
+		t.Errorf("v3 federation run decoded wrong: %+v", run)
+	}
+	if run.Migrations != 0 || run.RebalanceRounds != 0 {
+		t.Errorf("v3 run grew rebalancer values from nowhere: %+v", run)
+	}
+}
+
 func TestGoldenRoundTrip(t *testing.T) {
-	golden := filepath.Join("testdata", "report_v3.golden.json")
+	golden := filepath.Join("testdata", "report_v4.golden.json")
 	r := goldenReport()
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {

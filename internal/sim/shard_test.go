@@ -234,3 +234,20 @@ func TestSubmissionRanksOrder(t *testing.T) {
 		}
 	})
 }
+
+// TestPlanEpochsStreamingScaleWorkload pins the planner's behaviour on the
+// large bursty workload the conformance matrix's streaming-scale cell runs
+// (internal/conformance): it must produce a genuine multi-epoch plan, so
+// that cell exercises real boundary drains and reconciliation rather than
+// silently degrading to the sequential path.
+func TestPlanEpochsStreamingScaleWorkload(t *testing.T) {
+	w, err := (workload.Burst{Waves: 12, PerWave: 100, WaveGap: 20000}).Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(core.Elastic)
+	cfg.Shards = 8
+	if plans := planEpochs(cfg, w, submissionOrder(w)); len(plans) < 2 {
+		t.Fatalf("streaming-scale workload produced no multi-epoch plan (%d epochs)", len(plans))
+	}
+}

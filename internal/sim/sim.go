@@ -551,9 +551,10 @@ func (s *Simulator) runWindow() error {
 		}
 		if len(s.events) == 0 || s.events.top().at >= s.horizon {
 			// Window drained: nothing left before the horizon. Heap
-			// events at or past it (stale kicks, at most) belong to the
-			// successor epoch's timeline and are resolved by the
-			// reconciliation pass.
+			// events at or past it (stale kicks or stale completions,
+			// at most — both bitwise no-ops) belong to the successor
+			// epoch's timeline and are resolved by the reconciliation
+			// pass.
 			return nil
 		}
 		s.processed++
@@ -578,13 +579,19 @@ func (s *Simulator) runWindow() error {
 				continue
 			}
 		}
+		if ev.kind == evComplete && ev.seq != ev.job.seq {
+			// Stale completion from before a rescale: drop it before
+			// advancing the clock, like superseded kicks, so the
+			// utilization integral's term boundaries are a pure function
+			// of live events — an adopted shard epoch never sees its
+			// predecessor's parked stale events, and must fold the same
+			// float terms as the sequential loop.
+			s.recycleEvent(ev)
+			continue
+		}
 		s.advanceTo(ev.at)
 		switch ev.kind {
 		case evComplete:
-			if ev.seq != ev.job.seq {
-				s.recycleEvent(ev)
-				continue // stale completion from before a rescale
-			}
 			sj := ev.job
 			s.progress(sj)
 			// Release the job's workers in the utilization timeline
