@@ -16,6 +16,10 @@
 // benchmarks that record allocs/op on both sides are additionally held to
 // the same threshold on allocations (disable with -gate-allocs=false), and
 // a geomean summary row aggregates each gated metric across benchmarks.
+// -match-mem names benchmarks gated on B/op and allocs/op only: their time
+// metric is reported informationally — the gate for benchmarks whose
+// wall-clock tracks the runner (the sharded scaling family scales with core
+// count) but whose allocation footprint must not regress.
 // With `go test -count=N` output, `-emit -best` collapses the repeated runs
 // to their per-metric best, filtering one-sided scheduler noise before the
 // gate sees the numbers. Custom metrics beyond the gated one — e.g. the
@@ -56,6 +60,7 @@ func main() {
 		metric       = flag.String("metric", "ns/op", "metric to gate on")
 		gateAllocs   = flag.Bool("gate-allocs", true, "also gate allocs/op on the gated benchmarks (allocation regressions fail like time regressions)")
 		match        = flag.String("match", "", "regexp of benchmark names to gate on (others shown informationally); empty = all")
+		matchMem     = flag.String("match-mem", "", "regexp of benchmark names to gate on B/op and allocs/op only (time reported informationally)")
 		minSpeedup   = flag.Float64("min-speedup", 0, "minimum candidate/baseline jobs/s ratio for gated benchmarks (0 = no floor)")
 		allowMissing = flag.Bool("allow-missing", false, "tolerate baseline benchmarks absent from the candidate")
 	)
@@ -95,19 +100,28 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		var gate *regexp.Regexp
+		var gate, gateMem *regexp.Regexp
 		if *match != "" {
 			gate, err = regexp.Compile(*match)
 			if err != nil {
 				log.Fatalf("-match: %v", err)
 			}
 		}
-		regressions := compare(base, cand, *metric, *threshold, *allowMissing, gate, *gateAllocs, *minSpeedup)
+		if *matchMem != "" {
+			gateMem, err = regexp.Compile(*matchMem)
+			if err != nil {
+				log.Fatalf("-match-mem: %v", err)
+			}
+		}
+		regressions := compare(base, cand, *metric, *threshold, *allowMissing, gate, gateMem, *gateAllocs, *minSpeedup)
+		// The summary names the primary metric, but a REGRESSION row can
+		// also come from allocs/op, a -match-mem B/op gate, or a
+		// -min-speedup floor — the rows above say which.
 		if regressions > 0 {
-			fmt.Printf("\n%d regression(s) beyond ±%.0f%% on %s\n", regressions, 100**threshold, *metric)
+			fmt.Printf("\n%d regression(s) beyond ±%.0f%% on gated metrics (see REGRESSION rows)\n", regressions, 100**threshold)
 			os.Exit(1)
 		}
-		fmt.Printf("\nno regressions beyond ±%.0f%% on %s\n", 100**threshold, *metric)
+		fmt.Printf("\nno regressions beyond ±%.0f%% on gated metrics\n", 100**threshold)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -203,10 +217,15 @@ func value(b metrics.Benchmark, metric string) (float64, bool) {
 // additionally held to the same ±threshold on allocations, and a geomean
 // summary row aggregates the gated ratios on each gated metric.
 //
+// Benchmarks matching gateMem are memory-gated: held to ±threshold on B/op
+// and allocs/op, with their time metric (and speedup) reported
+// informationally. gateMem wins over gate when both match, since its whole
+// point is exempting runner-dependent wall-clock from the time gate.
+//
 // Benchmarks recording jobs/s on both sides get a speedup row with the
 // candidate/baseline throughput ratio; with minSpeedup > 0, gated benchmarks
 // whose ratio falls below the floor count as regressions.
-func compare(base, cand metrics.Report, metric string, threshold float64, allowMissing bool, gate *regexp.Regexp, gateAllocs bool, minSpeedup float64) int {
+func compare(base, cand metrics.Report, metric string, threshold float64, allowMissing bool, gate, gateMem *regexp.Regexp, gateAllocs bool, minSpeedup float64) int {
 	higherBetter := strings.HasSuffix(metric, "/s")
 	candidates := make(map[string]metrics.Benchmark, len(cand.Benchmarks))
 	for _, b := range cand.Benchmarks {
@@ -231,10 +250,11 @@ func compare(base, cand metrics.Report, metric string, threshold float64, allowM
 		}
 	}
 	for _, b := range base.Benchmarks {
-		gated := gate == nil || gate.MatchString(b.Name)
+		memGated := gateMem != nil && gateMem.MatchString(b.Name)
+		gated := !memGated && (gate == nil || gate.MatchString(b.Name))
 		c, ok := candidates[b.Name]
 		if !ok {
-			if !gated || allowMissing {
+			if (!gated && !memGated) || allowMissing {
 				fmt.Printf("%-46s %10s %14s %14s %8s  skipped (missing)\n", b.Name, metric, "-", "-", "-")
 				continue
 			}
@@ -252,16 +272,27 @@ func compare(base, cand metrics.Report, metric string, threshold float64, allowM
 			}
 			regressions += row(b.Name, metric, bv, cv, threshold, higherBetter, gated)
 		}
-		if gateAllocs && metric != "allocs/op" {
+		if memGated && metric != "B/op" {
+			bb, bbok := value(b, "B/op")
+			cb, cbok := value(c, "B/op")
+			switch {
+			case bbok && cbok:
+				regressions += row(b.Name, "B/op", bb, cb, threshold, false, true)
+			case bbok != cbok:
+				fmt.Printf("%-46s %10s %14s %14s %8s  skipped (B/op on one side only)\n",
+					b.Name, "B/op", "-", "-", "-")
+			}
+		}
+		if (gateAllocs || memGated) && metric != "allocs/op" {
 			ba, baok := value(b, "allocs/op")
 			ca, caok := value(c, "allocs/op")
 			switch {
 			case baok && caok:
-				if gated {
+				if gated || memGated {
 					geoAllocs.add(ca / ba)
 				}
-				regressions += row(b.Name, "allocs/op", ba, ca, threshold, false, gated)
-			case baok != caok && gated:
+				regressions += row(b.Name, "allocs/op", ba, ca, threshold, false, gated || memGated)
+			case baok != caok && (gated || memGated):
 				// One side stopped (or started) recording allocations —
 				// a 0-alloc result serializes the same as a missing
 				// b.ReportAllocs(), so the ratio gate cannot run. Say so

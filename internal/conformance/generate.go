@@ -2,6 +2,7 @@ package conformance
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"elastichpc/internal/model"
@@ -34,8 +35,9 @@ const (
 // RandomScenario draws a property-test scenario from rng: 8–64 jobs with
 // random classes and priorities, mostly-dense arrivals salted with
 // same-instant ties (the tie-break regime) and occasional multi-thousand-
-// second gaps (drain/idle boundaries), plus — half the time — a random
-// availability trace.
+// second gaps (drain/idle boundaries), plus — half the time — an
+// availability trace drawn from one of three shapes: independent scattered
+// events, a correlated failure burst, or a diurnal capacity curve.
 func RandomScenario(rng *rand.Rand) Scenario {
 	n := 8 + rng.Intn(maxRandomJobs-8+1)
 	jobs := make([]workload.JobSpec, n)
@@ -61,24 +63,99 @@ func RandomScenario(rng *rand.Rand) Scenario {
 		Name:     fmt.Sprintf("random-%djobs", n),
 		Workload: sim.Workload{Jobs: jobs},
 	}
-	if rng.Intn(2) == 0 {
-		span := at + 3600
-		events := make([]workload.CapacityEvent, 0, 6)
-		t := 0.0
-		for len(events) < 4 {
-			t += span / float64(5+rng.Intn(8))
+	span := at + 3600
+	switch rng.Intn(6) {
+	case 0, 1, 2:
+		// No trace: the fixed-capacity regime.
+	case 3:
+		sc.Trace = scatteredTrace(rng, span)
+		sc.Name += "-trace"
+	case 4:
+		sc.Trace = burstTrace(rng, span)
+		sc.Name += "-burst"
+	case 5:
+		sc.Trace = diurnalTrace(rng, span)
+		sc.Name += "-diurnal"
+	}
+	return sc
+}
+
+// scatteredTrace is the historical independent-event shape: a handful of
+// uncorrelated capacity steps at loosely spaced instants.
+func scatteredTrace(rng *rand.Rand, span float64) workload.AvailabilityTrace {
+	events := make([]workload.CapacityEvent, 0, 6)
+	t := 0.0
+	for len(events) < 4 {
+		t += span / float64(5+rng.Intn(8))
+		if t >= span {
+			break
+		}
+		events = append(events, workload.CapacityEvent{
+			At:       t,
+			Capacity: minRandomCap + rng.Intn(randomCapacity-minRandomCap+1),
+		})
+	}
+	return workload.AvailabilityTrace{Events: events}.WithRestore(randomCapacity, span)
+}
+
+// burstTrace models correlated failures: one or two clusters of capacity
+// drops tens of seconds apart — a cascade, not independent noise — each
+// followed by a single recovery step. Tight event clusters land several
+// forced shrinks and requeues inside one reconciliation window, the regime
+// the shard boundary walk is most likely to get wrong. Every capacity stays
+// at or above minRandomCap so the rigid policies remain feasible.
+func burstTrace(rng *rand.Rand, span float64) workload.AvailabilityTrace {
+	var events []workload.CapacityEvent
+	t := 0.0
+	for burst := 0; burst < 1+rng.Intn(2); burst++ {
+		t += span * (0.1 + 0.3*rng.Float64())
+		if t >= span {
+			break
+		}
+		c := randomCapacity
+		for hit := 0; hit < 2+rng.Intn(3); hit++ {
+			if drop := 1 + rng.Intn(16); c-drop < minRandomCap {
+				c = minRandomCap
+			} else {
+				c -= drop
+			}
+			events = append(events, workload.CapacityEvent{At: t, Capacity: c})
+			t += 10 + float64(rng.Intn(111))
 			if t >= span {
 				break
 			}
+		}
+		if t < span {
+			// Recovery: most of the lost capacity returns at once.
 			events = append(events, workload.CapacityEvent{
-				At:       t,
-				Capacity: minRandomCap + rng.Intn(randomCapacity-minRandomCap+1),
+				At: t, Capacity: randomCapacity - rng.Intn(8),
 			})
 		}
-		sc.Trace = workload.AvailabilityTrace{Events: events}.WithRestore(randomCapacity, span)
-		sc.Name += "-trace"
 	}
-	return sc
+	return workload.AvailabilityTrace{Events: events}.WithRestore(randomCapacity, span)
+}
+
+// diurnalTrace samples a day/night capacity curve into steps: a cosine
+// swinging between minRandomCap and randomCapacity over one or two periods —
+// slow correlated drift, the opposite regime from burstTrace's cascades.
+func diurnalTrace(rng *rand.Rand, span float64) workload.AvailabilityTrace {
+	periods := 1 + rng.Intn(2)
+	steps := 6 + rng.Intn(7)
+	mid := float64(minRandomCap+randomCapacity) / 2
+	amp := float64(randomCapacity-minRandomCap) / 2
+	events := make([]workload.CapacityEvent, 0, steps)
+	for i := 1; i <= steps; i++ {
+		frac := float64(i) / float64(steps+1)
+		c := int(math.Round(mid + amp*math.Cos(2*math.Pi*frac*float64(periods))))
+		if c < minRandomCap {
+			c = minRandomCap
+		}
+		if c > randomCapacity {
+			c = randomCapacity
+		}
+		events = append(events, workload.CapacityEvent{At: frac * span, Capacity: c})
+	}
+	return workload.AvailabilityTrace{Events: events}.WithRestore(randomCapacity, span)
 }
 
 // Shrink minimizes a failing scenario with ddmin-style chunk removal: it

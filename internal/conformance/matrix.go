@@ -6,6 +6,7 @@ import (
 	"elastichpc/internal/cluster"
 	"elastichpc/internal/core"
 	"elastichpc/internal/federation"
+	"elastichpc/internal/model"
 	"elastichpc/internal/sim"
 	"elastichpc/internal/workload"
 )
@@ -72,9 +73,43 @@ func RunMatrix(opt MatrixOptions) ([]Failure, int, error) {
 	return fails, len(cases), nil
 }
 
+// skewedScenario concatenates a heavy-class burst phase and a light-class
+// phase (heavy first or light first) — the demand-skewed shapes the
+// work-balanced epoch planner places its most asymmetric cuts on, which the
+// matrix must still prove reconcile exactly.
+func skewedScenario(seed int64, heavyFirst bool) (Scenario, error) {
+	heavy, err := workload.Burst{Waves: 2, PerWave: 18, WaveGap: 15000,
+		Mix: workload.Mix{model.Large: 1, model.XLarge: 1}}.Generate(seed)
+	if err != nil {
+		return Scenario{}, err
+	}
+	light, err := workload.Burst{Waves: 4, PerWave: 25, WaveGap: 15000,
+		Mix: workload.Mix{model.Small: 1, model.Medium: 1}}.Generate(seed + 100)
+	if err != nil {
+		return Scenario{}, err
+	}
+	first, second, name := heavy, light, "head-heavy"
+	if !heavyFirst {
+		first, second, name = light, heavy, "tail-heavy"
+	}
+	offset := first.Span() + 15000
+	jobs := make([]workload.JobSpec, 0, len(first.Jobs)+len(second.Jobs))
+	for i, j := range first.Jobs {
+		j.ID = fmt.Sprintf("a%03d-%s", i, j.ID)
+		jobs = append(jobs, j)
+	}
+	for i, j := range second.Jobs {
+		j.ID = fmt.Sprintf("b%03d-%s", i, j.ID)
+		j.SubmitAt += offset
+		jobs = append(jobs, j)
+	}
+	return Scenario{Name: name, Workload: sim.Workload{Jobs: jobs}}, nil
+}
+
 // matrixScenarios are the fixed workload shapes the sim cells sweep —
-// steady arrivals, deep same-instant backlogs, and a time-varying cluster
-// (the shapes the historical equivalence tests pinned).
+// steady arrivals, deep same-instant backlogs, a time-varying cluster (the
+// shapes the historical equivalence tests pinned), and the two demand-skewed
+// shapes that stress the work-balanced epoch planner.
 func matrixScenarios(seed int64) ([]Scenario, error) {
 	uniform, err := workload.Uniform{Jobs: 60, Gap: 45}.Generate(seed)
 	if err != nil {
@@ -97,10 +132,20 @@ func matrixScenarios(seed int64) ([]Scenario, error) {
 	// feasible: a trace that ends mid-drain strands any job whose pinned
 	// replica count exceeds the drained capacity.
 	tr = tr.WithRestore(64, span)
+	head, err := skewedScenario(seed, true)
+	if err != nil {
+		return nil, err
+	}
+	tail, err := skewedScenario(seed, false)
+	if err != nil {
+		return nil, err
+	}
 	return []Scenario{
 		{Name: "uniform", Workload: uniform},
 		{Name: "burst", Workload: burst},
 		{Name: "availability", Workload: avail, Trace: tr},
+		head,
+		tail,
 	}, nil
 }
 

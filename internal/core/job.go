@@ -44,27 +44,13 @@ func (s State) String() string {
 // MaxReplicas bound the allocation (the CRD fields added in §3.2.1);
 // Priority is user-defined with larger values scheduled first; ties are
 // broken by earlier SubmitTime.
+//
+// Field order is deliberate: the comparator-hot fields (the comparison
+// caches, IDRank, and the allocation bounds the placement loop reads) lead
+// the struct so the sort and gap-check paths touch the first cache line or
+// two, with the strings and time.Time records — visited only off the hot
+// path — trailing. Construct Jobs with keyed literals.
 type Job struct {
-	ID          string
-	Priority    int
-	MinReplicas int
-	MaxReplicas int
-	SubmitTime  time.Time
-
-	// Ref is an opaque driver-owned handle. The scheduler never reads or
-	// writes it; drivers that intern job identities (the simulator's slab
-	// indices, the operator's managed-job table) store their int32 index
-	// here so actuator callbacks resolve a *Job to driver state without a
-	// string-keyed map lookup on the hot path.
-	Ref int32
-
-	// IDRank is an optional driver-assigned tie-break rank: among jobs with
-	// equal SubmitTime it must be ordered exactly like ID (rank(a) < rank(b)
-	// iff a.ID < b.ID). The final comparator tie-break then costs one integer
-	// compare instead of a string compare. Two jobs with equal ranks fall
-	// back to comparing IDs, so leaving the field zero is always correct.
-	IDRank int32
-
 	// Comparison caches maintained by the scheduler: the base priority as
 	// a float and the submit/last-action instants in Unix nanoseconds, so
 	// the priority order and rescale-gap checks on the hot path are plain
@@ -76,13 +62,34 @@ type Job struct {
 	submitNs     int64
 	lastActionNs int64
 
+	// IDRank is an optional driver-assigned tie-break rank: among jobs with
+	// equal SubmitTime it must be ordered exactly like ID (rank(a) < rank(b)
+	// iff a.ID < b.ID). The final comparator tie-break then costs one integer
+	// compare instead of a string compare. Two jobs with equal ranks fall
+	// back to comparing IDs, so leaving the field zero is always correct.
+	IDRank int32
+
+	// Ref is an opaque driver-owned handle. The scheduler never reads or
+	// writes it; drivers that intern job identities (the simulator's slab
+	// indices, the operator's managed-job table) store their int32 index
+	// here so actuator callbacks resolve a *Job to driver state without a
+	// string-keyed map lookup on the hot path.
+	Ref int32
+
+	Priority    int
+	MinReplicas int
+	MaxReplicas int
+
 	// Managed by the scheduler.
-	State      State
-	Replicas   int
+	State    State
+	Replicas int
+	Rescales int // number of shrink/expand events applied to this job
+
+	ID         string
+	SubmitTime time.Time
 	LastAction time.Time // last creation/shrink/expand event (rescale-gap anchor)
 	StartTime  time.Time
 	EndTime    time.Time
-	Rescales   int // number of shrink/expand events applied to this job
 }
 
 // Validate checks the job's static fields.

@@ -46,6 +46,29 @@ func (s *Scheduler) ExportState() SchedulerState {
 	return st
 }
 
+// ExportStateInto snapshots the scheduler's current state into st, reusing
+// st's Running and Queued backing arrays — the allocation-free variant of
+// ExportState for callers that snapshot in a loop (per-round rebalancers, a
+// service front-end checkpointing on a timer). st's previous contents are
+// overwritten; the snapshot semantics are otherwise ExportState's exactly,
+// except that an empty job set leaves a non-nil zero-length slice rather
+// than nil when st already carried capacity.
+func (s *Scheduler) ExportStateInto(st *SchedulerState) {
+	s.refresh()
+	st.Capacity = s.cfg.Capacity
+	st.CapStats = s.capStats
+	st.Running = st.Running[:0]
+	for _, j := range s.running {
+		st.Running = append(st.Running, *j)
+	}
+	st.Queued = st.Queued[:0]
+	if s.queue.Len() > 0 {
+		for _, j := range s.queue.sorted() {
+			st.Queued = append(st.Queued, *j)
+		}
+	}
+}
+
 // restoreCaches rebuilds the comparison caches a snapshot does not carry
 // (they are derivable from the exported fields).
 func restoreCaches(j *Job) {

@@ -245,3 +245,35 @@ func findRestoredJob(t *testing.T, s *Scheduler, id string) *Job {
 	t.Fatalf("job %s not in restored running set", id)
 	return nil
 }
+
+// TestExportStateIntoReusesBuffers pins the allocation-free snapshot
+// variant: ExportStateInto must produce the same snapshot as ExportState
+// and, when the destination already has capacity, reuse its backing arrays
+// instead of allocating fresh ones.
+func TestExportStateIntoReusesBuffers(t *testing.T) {
+	src, _ := populatedSched(t)
+	want := src.ExportState()
+
+	var st SchedulerState
+	src.ExportStateInto(&st)
+	if st.Capacity != want.Capacity || !reflect.DeepEqual(st.CapStats, want.CapStats) ||
+		!reflect.DeepEqual(st.Running, want.Running) || !reflect.DeepEqual(st.Queued, want.Queued) {
+		t.Fatalf("ExportStateInto diverged from ExportState:\ninto: %+v\nwant: %+v", st, want)
+	}
+
+	// Second snapshot into the same record: contents identical, backing
+	// arrays untouched (capacity suffices, so append must not reallocate).
+	prevRun, prevQ := &st.Running[0], &st.Queued[0]
+	src.ExportStateInto(&st)
+	if !reflect.DeepEqual(st.Running, want.Running) || !reflect.DeepEqual(st.Queued, want.Queued) {
+		t.Fatalf("second ExportStateInto diverged: %+v", st)
+	}
+	if &st.Running[0] != prevRun || &st.Queued[0] != prevQ {
+		t.Error("ExportStateInto reallocated backing arrays it could have reused")
+	}
+
+	allocs := testing.AllocsPerRun(20, func() { src.ExportStateInto(&st) })
+	if allocs > 1 { // queue.sorted() may allocate its scratch; the snapshot itself must not
+		t.Errorf("ExportStateInto allocates %.0f times per snapshot", allocs)
+	}
+}

@@ -9,56 +9,79 @@ import (
 // The sharded mode's merge must reproduce the sequential Result bit for
 // bit, and floating-point addition is not associative: summing each shard's
 // partial utilization integral would round differently from the sequential
-// left-to-right fold. The merge therefore never adds partial sums. Instead
-// every window records the exact terms it contributed to each
-// order-sensitive accumulator — the very float64 values the sequential loop
-// would have added, produced by the same expressions over the same inputs —
-// and the reconciliation pass replays them in segment order into one
-// continuous fold. Terms that are exactly +0.0 (idle-time utilization
-// advances, unforced overhead with no work lost) are identities under IEEE
-// addition on a non-negative accumulator, so the windows skip them and the
-// replayed fold still matches the sequential one bitwise. Integer counters
-// and float min/max (first start, last end) are exact under any grouping
-// and merge directly.
+// left-to-right fold. The merge therefore never adds partial sums across an
+// arbitrary grouping. Instead every order-sensitive accumulator is folded at
+// two levels, in BOTH execution modes: the event loop adds each term to a
+// running sub-accumulator, and whenever the cluster fully drains (no job
+// running, none queued — the only instants a shard cut can be adopted at)
+// the sub-accumulator is *sealed*: folded into the run total and reset to
+// zero. A sealed value is a pure function of the decision sequence since the
+// previous drain, and a drained cut never splits a sub-run, so an adopted
+// epoch produces exactly the seal values the sequential loop produces over
+// the same windows. The merge then replays the per-segment seal logs — a
+// handful of float64s per drain, not a term per event — in segment order
+// into one continuous fold, bit-identical to the sequential two-level fold.
+// Integer counters and float min/max (first start, last end) are exact under
+// any grouping and merge directly.
+//
+// This is also what makes the shard path allocation-lean: the PR-6 merge
+// logged every nonzero utilization increment, finish term, and overhead area
+// (O(events) float64s per epoch, ~40× the sequential footprint on the
+// scaling benchmark); the seal log is O(drains), which the epoch planner
+// already requires to be dense for sharding to pay at all.
 
-// finTerm is one completed job's contribution to the weighted means.
-type finTerm struct {
-	w, wr, wc float64 // priority weight, weighted response, weighted completion
+// sealTerm is one drained instant's contribution to each order-sensitive
+// accumulator: the sub-run totals folded at the seal.
+type sealTerm struct {
+	util   float64 // utilization integral (UsedSlotSec numerator)
+	w      float64 // priority-weight sum
+	wr, wc float64 // weighted response / completion sums
+	ovh    float64 // overhead area (replica-seconds frozen by rescales)
+	lost   float64 // forced-rescale share of ovh (WorkLostSec)
 }
 
-// ovhTerm is one rescale/restart's contribution to the overhead integrals.
-// lost is zero when the rescale was voluntary (policy-chosen), mirroring the
-// sequential loop, which adds nothing to WorkLostSec in that case.
-type ovhTerm struct {
-	area, lost float64
-}
-
-// runLog records a window's accumulator terms for the replay merge.
+// runLog records a segment's seal sequence for the replay merge.
 type runLog struct {
-	util []float64
-	fin  []finTerm
-	ovh  []ovhTerm
+	seals []sealTerm
+}
+
+// seal folds the open sub-accumulators into the run totals and resets them —
+// called at every drained instant, in the sequential and sharded modes
+// alike, so both fold the same terms in the same grouping. With a recording
+// log attached (sharded segments), the seal is also appended for the merge
+// to replay.
+func (s *Simulator) seal() {
+	t := sealTerm{
+		util: s.utilSub, w: s.finWSub, wr: s.finRespSub, wc: s.finCompSub,
+		ovh: s.ovhSub, lost: s.lostSub,
+	}
+	s.utilArea += t.util
+	s.wSum += t.w
+	s.wResp += t.wr
+	s.wComp += t.wc
+	s.overheadArea += t.ovh
+	s.workLost += t.lost
+	s.utilSub, s.finWSub, s.finRespSub, s.finCompSub = 0, 0, 0, 0
+	s.ovhSub, s.lostSub = 0, 0
+	if s.rec != nil {
+		s.rec.seals = append(s.rec.seals, t)
+	}
 }
 
 // mergeSegments folds the reconciled segments — each a simulator that ran a
 // half-open stretch of the timeline bounded by fully drained instants —
 // into the facade simulator's accumulators and derives the Result. Segment
-// order is epoch order, so each per-accumulator replay is the sequential
-// term sequence.
+// order is epoch order, so the seal replay is the sequential fold.
 func (s *Simulator) mergeSegments(w Workload, segs []*Simulator) (Result, error) {
 	var cs core.CapacityStats
 	for _, sg := range segs {
-		for _, d := range sg.rec.util {
-			s.utilArea += d
-		}
-		for _, e := range sg.rec.ovh {
-			s.overheadArea += e.area
-			s.workLost += e.lost
-		}
-		for _, e := range sg.rec.fin {
-			s.wSum += e.w
-			s.wResp += e.wr
-			s.wComp += e.wc
+		for _, t := range sg.rec.seals {
+			s.utilArea += t.util
+			s.wSum += t.w
+			s.wResp += t.wr
+			s.wComp += t.wc
+			s.overheadArea += t.ovh
+			s.workLost += t.lost
 		}
 		s.completed += sg.completed
 		if sg.haveStart && (!s.haveStart || sg.firstStart < s.firstStart) {
@@ -75,6 +98,14 @@ func (s *Simulator) mergeSegments(w Workload, segs []*Simulator) (Result, error)
 		cs.Requeues += st.Requeues
 		cs.SlotsReclaimed += st.SlotsReclaimed
 	}
+	// Unsealed tails: every non-final segment ends at an adopted boundary
+	// (drained, so freshly sealed — its open subs are exactly zero), and the
+	// final segment's last completion drains the cluster too. The final
+	// segment's subs are still carried over so the derivation below matches
+	// the sequential run's final fold position even in degenerate cases.
+	last := segs[len(segs)-1]
+	s.utilSub, s.finWSub, s.finRespSub, s.finCompSub = last.utilSub, last.finWSub, last.finRespSub, last.finCompSub
+	s.ovhSub, s.lostSub = last.ovhSub, last.lostSub
 	if s.cfg.LogDecisions {
 		logs := make([][]core.Decision, len(segs))
 		for i, sg := range segs {
@@ -94,7 +125,7 @@ func (s *Simulator) mergeSegments(w Workload, segs []*Simulator) (Result, error)
 		return Result{Policy: s.cfg.Policy},
 			fmt.Errorf("sim: %d of %d jobs completed", s.completed, len(w.Jobs))
 	}
-	res := s.resultFromTotals(cs, segs[len(segs)-1].sched.Capacity())
+	res := s.resultFromTotals(cs, last.sched.Capacity())
 	if !s.cfg.Streaming {
 		// Every job lives entirely inside one segment (segments are
 		// bounded by drained instants), so the retained records merge by
@@ -105,8 +136,9 @@ func (s *Simulator) mergeSegments(w Workload, segs []*Simulator) (Result, error)
 		for _, sg := range segs {
 			tl = append(tl, sg.utilTL...)
 			for _, sj := range sg.byRef {
-				res.Jobs[sj.widx] = sj.meta
-				res.ReplicaTimelines[sj.meta.ID] = sj.timeline
+				c := &sg.cold[sj.ref]
+				res.Jobs[sj.widx] = c.meta
+				res.ReplicaTimelines[c.meta.ID] = c.timeline
 			}
 		}
 		res.UtilTimeline = tl

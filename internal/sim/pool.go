@@ -15,95 +15,82 @@ const (
 	evKick            // a rescale gap expired: re-run the scheduling pass
 )
 
-type event struct {
-	at   float64
-	kind evKind
+// evKey holds exactly the fields the heap comparator reads — time and push
+// order — packed into a dense 16-byte record so sift operations stream keys
+// through the cache instead of chasing per-event pointers.
+type evKey struct {
+	at  float64
+	ord int64 // FIFO tie-break for equal timestamps
+}
+
+// before orders keys by time, then push order.
+func (k evKey) before(o evKey) bool {
+	if k.at != o.at {
+		return k.at < o.at
+	}
+	return k.ord < o.ord
+}
+
+// evPayload is the non-comparison half of an event, swapped in lockstep
+// with its key and only read when the event is popped.
+type evPayload struct {
 	job  *simJob
 	seq  int64 // completion-event validity token
-	ord  int64 // FIFO tie-break for equal timestamps
+	kind evKind
 }
 
-// before orders events by time, then push order.
-func (ev *event) before(o *event) bool {
-	if ev.at != o.at {
-		return ev.at < o.at
-	}
-	return ev.ord < o.ord
+// eventHeap is a hand-rolled struct-of-arrays binary min-heap: keys and
+// payloads live in parallel backing arrays and events are plain values, so
+// arming an event is an append (no per-event allocation, no recycling pool,
+// nothing to alias) and the sift loops compare dense keys without pulling
+// payload bytes into the cache. container/heap would cost an interface call
+// per comparison on the simulator's hottest path.
+type eventHeap struct {
+	keys []evKey
+	pays []evPayload
 }
 
-// eventHeap is a hand-rolled binary min-heap of pooled events (container/heap
-// costs an interface call per comparison on the simulator's hottest path).
-type eventHeap []*event
+func (h *eventHeap) len() int       { return len(h.keys) }
+func (h *eventHeap) topAt() float64 { return h.keys[0].at }
 
-func (h eventHeap) top() *event { return h[0] }
-
-func (h *eventHeap) push(ev *event) {
-	hh := append(*h, ev)
-	i := len(hh) - 1
+func (h *eventHeap) push(k evKey, p evPayload) {
+	h.keys = append(h.keys, k)
+	h.pays = append(h.pays, p)
+	i := len(h.keys) - 1
 	for i > 0 {
-		p := (i - 1) / 2
-		if !hh[i].before(hh[p]) {
+		par := (i - 1) / 2
+		if !h.keys[i].before(h.keys[par]) {
 			break
 		}
-		hh[i], hh[p] = hh[p], hh[i]
-		i = p
+		h.keys[i], h.keys[par] = h.keys[par], h.keys[i]
+		h.pays[i], h.pays[par] = h.pays[par], h.pays[i]
+		i = par
 	}
-	*h = hh
 }
 
-func (h *eventHeap) pop() *event {
-	hh := *h
-	top := hh[0]
-	n := len(hh) - 1
-	hh[0] = hh[n]
-	hh[n] = nil
-	hh = hh[:n]
+func (h *eventHeap) pop() (evKey, evPayload) {
+	k, p := h.keys[0], h.pays[0]
+	n := len(h.keys) - 1
+	h.keys[0], h.pays[0] = h.keys[n], h.pays[n]
+	h.pays[n] = evPayload{} // drop the job pointer: popped slots pin nothing
+	h.keys, h.pays = h.keys[:n], h.pays[:n]
 	i := 0
 	for {
 		c := 2*i + 1
 		if c >= n {
 			break
 		}
-		if r := c + 1; r < n && hh[r].before(hh[c]) {
+		if r := c + 1; r < n && h.keys[r].before(h.keys[c]) {
 			c = r
 		}
-		if !hh[c].before(hh[i]) {
+		if !h.keys[c].before(h.keys[i]) {
 			break
 		}
-		hh[i], hh[c] = hh[c], hh[i]
+		h.keys[i], h.keys[c] = h.keys[c], h.keys[i]
+		h.pays[i], h.pays[c] = h.pays[c], h.pays[i]
 		i = c
 	}
-	*h = hh
-	return top
-}
-
-// eventPool recycles popped events so the event loop's steady state
-// allocates nothing per event. An event handed out by get must be returned
-// through put exactly once, after it has been popped from the heap — never
-// while the heap still references it (put clears the job pointer, so an
-// aliased live event would corrupt the schedule). Each Simulator owns one
-// pool; sharded runs give every shard its own, so no synchronization is
-// needed.
-type eventPool struct {
-	free []*event
-}
-
-// get hands out a zeroed-or-recycled event; the caller overwrites every
-// field before use.
-func (p *eventPool) get() *event {
-	if n := len(p.free); n > 0 {
-		ev := p.free[n-1]
-		p.free = p.free[:n-1]
-		return ev
-	}
-	return &event{}
-}
-
-// put returns a popped event to the pool, dropping its job reference so a
-// pooled event can never pin (or be confused with) live schedule state.
-func (p *eventPool) put(ev *event) {
-	ev.job = nil
-	p.free = append(p.free, ev)
+	return k, p
 }
 
 // RunTasks executes n independent tasks on a bounded worker pool and returns

@@ -6,64 +6,56 @@ import (
 	"testing"
 )
 
-// TestEventPoolRecyclingFuzz drives the event pool and heap through long
-// pseudo-random interleavings of push (get + heap push) and pop + recycle,
-// checking the two invariants the simulator's event loop depends on:
+// TestEventHeapFuzz drives the struct-of-arrays heap through long
+// pseudo-random interleavings of push and pop, checking the invariants the
+// simulator's event loop depends on:
 //
-//  1. No aliasing: get never hands out an event the heap still holds, and
-//     a popped event's payload is intact at the moment it is popped (a
-//     recycled slot overwriting a live one would corrupt both).
-//  2. Heap order: events pop in (at, ord) order regardless of how pushes
-//     and pops interleave and how often slots are recycled.
-func TestEventPoolRecyclingFuzz(t *testing.T) {
+//  1. Key/payload lockstep: the payload popped with a key is exactly the
+//     payload pushed with it (a sift swapping one array but not the other
+//     would silently fire the wrong job's event).
+//  2. Heap order: keys pop in (at, ord) order regardless of how pushes and
+//     pops interleave.
+func TestEventHeapFuzz(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3, 4, 5} {
 		rng := rand.New(rand.NewSource(seed))
-		var pool eventPool
 		var heap eventHeap
-		live := make(map[*event]int64) // heap-resident events -> expected seq payload
-		jobs := []*simJob{{}, {}, {}}  // distinct payload markers
+		jobs := []*simJob{{}, {}, {}} // distinct payload markers
+		bySeq := make(map[int64]*simJob)
+		byOrd := make(map[int64]int64) // ord -> seq pushed with it
 		var nextSeq, ord int64
 
 		push := func() {
-			ev := pool.get()
-			if _, isLive := live[ev]; isLive {
-				t.Fatalf("seed %d: pool handed out an event the heap still holds", seed)
-			}
 			nextSeq++
 			ord++
-			*ev = event{
-				at:   float64(rng.Intn(50)), // heavy timestamp collisions
-				kind: evKind(rng.Intn(2)),
-				job:  jobs[rng.Intn(len(jobs))],
-				seq:  nextSeq,
-				ord:  ord,
-			}
-			live[ev] = nextSeq
-			heap.push(ev)
+			job := jobs[rng.Intn(len(jobs))]
+			bySeq[nextSeq] = job
+			byOrd[ord] = nextSeq
+			heap.push(
+				evKey{at: float64(rng.Intn(50)), ord: ord}, // heavy timestamp collisions
+				evPayload{job: job, seq: nextSeq, kind: evKind(rng.Intn(2))},
+			)
 		}
-		pop := func() {
-			prev := heap.top()
-			ev := heap.pop()
-			if ev != prev {
-				t.Fatalf("seed %d: top/pop disagree", seed)
+		pop := func() evKey {
+			topAt := heap.topAt()
+			k, p := heap.pop()
+			if k.at != topAt {
+				t.Fatalf("seed %d: topAt/pop disagree", seed)
 			}
-			wantSeq, isLive := live[ev]
-			if !isLive {
-				t.Fatalf("seed %d: heap popped an event not tracked as live", seed)
+			wantSeq, tracked := byOrd[k.ord]
+			if !tracked {
+				t.Fatalf("seed %d: popped unknown ord %d", seed, k.ord)
 			}
-			if ev.seq != wantSeq || ev.job == nil {
-				t.Fatalf("seed %d: popped event payload corrupted (seq %d want %d, job %p)",
-					seed, ev.seq, wantSeq, ev.job)
+			if p.seq != wantSeq || p.job != bySeq[wantSeq] {
+				t.Fatalf("seed %d: payload decoupled from key (seq %d want %d)",
+					seed, p.seq, wantSeq)
 			}
-			delete(live, ev)
-			pool.put(ev)
-			if ev.job != nil {
-				t.Fatalf("seed %d: put left the job pointer set", seed)
-			}
+			delete(byOrd, k.ord)
+			delete(bySeq, wantSeq)
+			return k
 		}
 
 		for i := 0; i < 20_000; i++ {
-			if len(heap) == 0 || rng.Intn(3) > 0 {
+			if heap.len() == 0 || rng.Intn(3) > 0 {
 				push()
 			} else {
 				pop()
@@ -74,103 +66,78 @@ func TestEventPoolRecyclingFuzz(t *testing.T) {
 		// refills is not globally sorted — a later push can carry an
 		// earlier timestamp — so only this drain is order-checked; the
 		// reference test below covers full-order correctness.)
-		var drain []event
-		for len(heap) > 0 {
-			drain = append(drain, *heap.top()) // value copy: the record is recycled by pop()
-			pop()
+		var drain []evKey
+		for heap.len() > 0 {
+			drain = append(drain, pop())
 		}
-		if len(live) != 0 {
-			t.Fatalf("seed %d: %d events leaked", seed, len(live))
+		if len(byOrd) != 0 {
+			t.Fatalf("seed %d: %d events leaked", seed, len(byOrd))
 		}
 		if !sort.SliceIsSorted(drain, func(a, b int) bool {
-			return drain[a].before(&drain[b])
+			return drain[a].before(drain[b])
 		}) {
 			t.Fatalf("seed %d: drain order violates (at, ord) ordering", seed)
 		}
 	}
 }
 
-// TestEventPoolHeapMatchesReference cross-checks the hand-rolled heap + pool
-// against a plain sort: push a shuffled batch, drain completely, and the
-// drain order must equal the (at, ord) sort of what was pushed. Run twice
-// over the same pool so the second batch executes entirely on recycled
-// events.
-func TestEventPoolHeapMatchesReference(t *testing.T) {
+// TestEventHeapMatchesReference cross-checks the hand-rolled heap against a
+// plain sort: push a shuffled batch, drain completely, and the drain order
+// must equal the (at, ord) sort of what was pushed. Run twice over the same
+// heap so the second batch executes entirely on the retained backing arrays.
+func TestEventHeapMatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	var pool eventPool
 	var heap eventHeap
 	job := &simJob{}
 	var ord int64
 	for batch := 0; batch < 2; batch++ {
-		type ref struct {
-			at  float64
-			ord int64
-		}
-		var want []ref
+		var want []evKey
 		for i := 0; i < 5000; i++ {
-			ev := pool.get()
 			ord++
-			*ev = event{at: float64(rng.Intn(200)), kind: evComplete, job: job, seq: int64(i), ord: ord}
-			want = append(want, ref{ev.at, ev.ord})
-			heap.push(ev)
+			k := evKey{at: float64(rng.Intn(200)), ord: ord}
+			want = append(want, k)
+			heap.push(k, evPayload{job: job, seq: int64(i), kind: evComplete})
 		}
-		sort.Slice(want, func(a, b int) bool {
-			if want[a].at != want[b].at {
-				return want[a].at < want[b].at
-			}
-			return want[a].ord < want[b].ord
-		})
+		sort.Slice(want, func(a, b int) bool { return want[a].before(want[b]) })
 		for i := range want {
-			ev := heap.pop()
-			if ev.at != want[i].at || ev.ord != want[i].ord {
+			k, p := heap.pop()
+			if k != want[i] {
 				t.Fatalf("batch %d: pop %d got (%.0f, %d), want (%.0f, %d)",
-					batch, i, ev.at, ev.ord, want[i].at, want[i].ord)
+					batch, i, k.at, k.ord, want[i].at, want[i].ord)
 			}
-			pool.put(ev)
+			if p.job != job {
+				t.Fatalf("batch %d: pop %d lost its payload", batch, i)
+			}
 		}
-		if len(heap) != 0 {
+		if heap.len() != 0 {
 			t.Fatalf("batch %d: heap not drained", batch)
 		}
-		if batch == 1 && len(pool.free) != 5000 {
-			t.Fatalf("pool lost events: %d free, want 5000", len(pool.free))
+		if cap(heap.keys) < 5000 || cap(heap.pays) < 5000 {
+			t.Fatalf("backing arrays not retained across the drain (caps %d/%d)",
+				cap(heap.keys), cap(heap.pays))
 		}
 	}
 }
 
-// TestEventPoolRecycledNeverAliasesLive is the focused regression for the
-// no-alias invariant: recycle one event while another is still in the heap,
-// then reuse the recycled slot — the live event's payload must be untouched
-// and the recycled slot must be a different record.
-func TestEventPoolRecycledNeverAliasesLive(t *testing.T) {
-	var pool eventPool
+// TestEventHeapPopClearsPayload pins the no-pinning invariant: a popped
+// slot's payload in the backing array is zeroed, so a drained heap holds no
+// stale *simJob references to keep dead jobs (and their slabs) reachable.
+func TestEventHeapPopClearsPayload(t *testing.T) {
 	var heap eventHeap
 	early, late := &simJob{}, &simJob{}
+	heap.push(evKey{at: 1, ord: 1}, evPayload{job: early, seq: 7, kind: evComplete})
+	heap.push(evKey{at: 2, ord: 2}, evPayload{job: late, seq: 9, kind: evComplete})
 
-	a := pool.get()
-	*a = event{at: 1, kind: evComplete, job: early, seq: 7, ord: 1}
-	heap.push(a)
-	b := pool.get()
-	*b = event{at: 2, kind: evComplete, job: late, seq: 9, ord: 2}
-	heap.push(b)
-
-	got := heap.pop() // a
-	pool.put(got)
-
-	c := pool.get() // recycles a's slot
-	if c != a {
-		t.Fatalf("expected the recycled slot back (got %p, want %p)", c, a)
+	if _, p := heap.pop(); p.job != early {
+		t.Fatal("wrong first pop")
 	}
-	if c == b {
-		t.Fatal("pool handed out a live heap event")
+	if got := heap.pays[:cap(heap.pays)][1]; got.job != nil {
+		t.Fatalf("popped slot still pins a job: %+v", got)
 	}
-	*c = event{at: 0.5, kind: evKick, job: nil, seq: 11, ord: 3}
-	heap.push(c)
-
-	// The live event b must be untouched by a's recycle and reuse.
-	if b.at != 2 || b.job != late || b.seq != 9 {
-		t.Fatalf("live event corrupted by recycle: %+v", *b)
+	if _, p := heap.pop(); p.job != late {
+		t.Fatal("wrong second pop")
 	}
-	if heap.pop() != c || heap.pop() != b {
-		t.Fatal("heap order wrong after recycle")
+	if got := heap.pays[:cap(heap.pays)][0]; got.job != nil {
+		t.Fatalf("popped slot still pins a job: %+v", got)
 	}
 }

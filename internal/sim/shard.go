@@ -1,12 +1,27 @@
 package sim
 
 import (
+	"errors"
 	"math"
 	"sort"
 
 	"elastichpc/internal/core"
 	"elastichpc/internal/model"
 )
+
+// errEpochAbandoned is the early-exit sentinel an abandoned speculative
+// epoch's runWindow returns. It is recorded in that epoch's error slot, which
+// the reconciliation pass never reads for a discarded epoch, so it cannot
+// surface from Run.
+var errEpochAbandoned = errors.New("sim: speculative epoch abandoned")
+
+// shardStats counts a sharded run's reconciliation outcomes: epochs planned,
+// boundaries whose speculative epoch was adopted, and windows the live chain
+// re-executed. Test and debugging visibility only — adopted+reexecuted ==
+// epochs-1.
+type shardStats struct {
+	epochs, adopted, reexecuted int
+}
 
 // Sharded execution: the event loop is partitioned in TIME, not across jobs.
 //
@@ -33,7 +48,7 @@ import (
 // planner hands each epoch via core.SchedulerState, and the accumulated
 // metrics, which merge exactly: integer counters and float min/max are
 // order-insensitive, and every order-sensitive float accumulator is merged
-// by replaying the per-window term logs (see merge.go), not by adding
+// by replaying the per-window seal logs (see merge.go), not by adding
 // partial sums. The scheduler's wall-clock caches cannot diverge either:
 // each epoch's scheduler clock is anchored to the same global epoch, and
 // time-dependent decisions (aging, gap checks) only consult jobs the epoch
@@ -43,7 +58,22 @@ import (
 // submission's total compute demand and drains at the base capacity's rate —
 // and is allowed to be wrong in either direction: a missed drain only costs
 // parallelism, a falsely predicted drain is caught by the reconciliation
-// pass. Its only job is to place cuts where adoption is likely.
+// pass. Its only job is to place cuts where adoption is likely. Cuts are
+// chosen to equalize the predictor's *work* integral per epoch, not job
+// counts: a workload whose heavy jobs cluster at one end still yields epochs
+// of comparable simulation cost, so no shard sits idle behind one giant
+// window.
+//
+// Reconciliation is pipelined (chained speculation): epoch 0 runs on the
+// caller's goroutine while every later epoch speculates concurrently, and
+// the boundary walk consumes each epoch the moment the live chain reaches
+// it — adopting it (after waiting for just that epoch's goroutine) when the
+// boundary really drained, or discarding it and re-executing its window on
+// the live chain while the epochs further right keep speculating. A dirty
+// boundary therefore costs only its own window's re-execution overlapped
+// with downstream speculation, and the sequential tail is bounded to the
+// truly-divergent suffix; discarded epochs are flagged to abandon their
+// speculative runs early instead of simulating to the horizon.
 
 // epochPlan is one epoch's share of the inputs.
 type epochPlan struct {
@@ -82,11 +112,15 @@ func planEpochs(cfg Config, w Workload, order []int32) []epochPlan {
 	// compute demand (steps × iteration time × replicas, at the replica
 	// count the policy favors) to a backlog that drains at the base
 	// capacity's rate. A cut is a candidate wherever the backlog hits zero
-	// before the next distinct submission instant.
+	// before the next distinct submission instant; each candidate records
+	// the cumulative demand submitted before it, the work integral the cut
+	// chooser balances on.
 	specs := model.Specs()
 	capRate := float64(cfg.Capacity)
-	var cuts []int // candidate epoch-start positions in order, ascending
+	var cuts []int        // candidate epoch-start positions in order, ascending
+	var cutWork []float64 // predicted work submitted before each candidate (non-decreasing)
 	backlog := 0.0
+	work := 0.0
 	tPrev := w.Jobs[order[0]].SubmitAt
 	for i := 0; i < n; {
 		t := w.Jobs[order[i]].SubmitAt
@@ -95,6 +129,7 @@ func planEpochs(cfg Config, w Workload, order []int32) []epochPlan {
 			if backlog <= 0 {
 				backlog = 0
 				cuts = append(cuts, i)
+				cutWork = append(cutWork, work)
 			}
 		}
 		for i < n && w.Jobs[order[i]].SubmitAt == t {
@@ -109,37 +144,43 @@ func planEpochs(cfg Config, w Workload, order []int32) []epochPlan {
 			if r < 1 {
 				r = 1
 			}
-			backlog += float64(spec.Steps) * cfg.Machine.IterTime(spec.Grid, r) * float64(r)
+			d := float64(spec.Steps) * cfg.Machine.IterTime(spec.Grid, r) * float64(r)
+			backlog += d
+			work += d
 			i++
 		}
 		tPrev = t
 	}
-	if len(cuts) == 0 {
+	if len(cuts) == 0 || work <= 0 {
 		return whole
 	}
 
-	// Pick, for each equal-count target k·n/K, the nearest candidate cut
-	// past the previous pick; strictly increasing picks keep every epoch
-	// non-empty.
+	// Pick, for each equal-work target k·W/K, the candidate whose cumulative
+	// predicted work is nearest, keeping picks strictly increasing so every
+	// epoch stays non-empty. Balancing the predictor's work integral rather
+	// than submission counts is what keeps skewed workloads — heavy jobs
+	// clustered at the head or tail, swarms of cheap ones elsewhere — from
+	// producing one epoch that dwarfs the rest: epoch wall-time tracks the
+	// events simulated, which tracks demand, not the job count.
 	chosen := make([]int, 0, cfg.Shards-1)
 	prev := 0
 	for k := 1; k < cfg.Shards; k++ {
-		target := k * n / cfg.Shards
-		pos := sort.SearchInts(cuts, target)
+		target := work * float64(k) / float64(cfg.Shards)
+		pos := sort.SearchFloat64s(cutWork, target)
 		best := -1
-		if pos < len(cuts) {
-			best = cuts[pos]
+		if pos < len(cuts) && cuts[pos] > prev {
+			best = pos
 		}
-		if pos > 0 {
-			if lo := cuts[pos-1]; lo > prev && (best < 0 || target-lo <= best-target) {
-				best = lo
+		if pos > 0 && cuts[pos-1] > prev {
+			if best < 0 || target-cutWork[pos-1] <= cutWork[best]-target {
+				best = pos - 1
 			}
 		}
-		if best <= prev {
+		if best < 0 {
 			continue
 		}
-		chosen = append(chosen, best)
-		prev = best
+		chosen = append(chosen, cuts[best])
+		prev = cuts[best]
 	}
 	if len(chosen) == 0 {
 		return whole
@@ -234,33 +275,54 @@ func (s *Simulator) runSharded(w Workload) (Result, error) {
 		sims[k] = sub
 	}
 
-	// Speculate: every epoch runs concurrently from its guessed start state.
-	// Errors are held per epoch — a speculative failure only matters if the
-	// reconciliation pass adopts that epoch (otherwise it is re-executed).
+	// Speculate and reconcile as a pipeline (chained speculation). Epochs
+	// 1..K-1 speculate on their own goroutines; epoch 0 — the live chain's
+	// exact prefix — runs right here, overlapping the speculation. The
+	// boundary walk then consumes each epoch the moment the live chain
+	// reaches it: adoption waits for that epoch's goroutine alone, and a
+	// dirty boundary re-executes its window on the live chain while every
+	// epoch further right keeps speculating. Errors are held per epoch — a
+	// speculative failure only matters if the walk adopts that epoch.
 	errs := make([]error, len(sims))
-	_ = RunTasks(len(sims), len(sims), func(i int) error {
-		errs[i] = sims[i].runWindow()
-		return nil
-	})
+	done := make([]chan struct{}, len(sims))
+	for k := 1; k < len(sims); k++ {
+		done[k] = make(chan struct{})
+		go func(k int) {
+			defer close(done[k])
+			errs[k] = sims[k].runWindow()
+		}(k)
+	}
+	errs[0] = sims[0].runWindow()
 
-	// Reconcile: walk the boundaries in order. The live chain starts as
-	// epoch 0 (whose start state is exact by construction) and either hands
-	// off to the next speculative epoch (boundary drained — the guess was
-	// the truth) or absorbs its window and re-executes it sequentially.
 	live, liveErr := sims[0], errs[0]
 	segs := make([]*Simulator, 0, len(sims))
-	for k := 1; k < len(sims); k++ {
-		if liveErr != nil {
-			return Result{}, liveErr
-		}
+	s.stats = shardStats{epochs: len(sims)}
+	next := 1
+	for ; next < len(sims) && liveErr == nil; next++ {
 		if live.boundaryIdle() {
+			<-done[next]
 			segs = append(segs, live)
-			live, liveErr = sims[k], errs[k]
+			live, liveErr = sims[next], errs[next]
+			s.stats.adopted++
 			continue
 		}
-		live.extend(plans[k].subHi, plans[k].capHi,
-			planHorizon(plans, k), k == len(plans)-1)
+		// The backlog crossed the boundary: the speculative epoch is dead
+		// weight. Flag it to bail out of its run early, then re-execute its
+		// window sequentially on the live chain.
+		sims[next].abandoned.Store(true)
+		live.extend(plans[next].subHi, plans[next].capHi,
+			planHorizon(plans, next), next == len(plans)-1)
 		liveErr = live.runWindow()
+		s.stats.reexecuted++
+	}
+	// Reap every speculative goroutine before reading any segment state (an
+	// early liveErr exit flags the unvisited epochs first so they return
+	// promptly).
+	for k := next; k < len(sims); k++ {
+		sims[k].abandoned.Store(true)
+	}
+	for k := 1; k < len(sims); k++ {
+		<-done[k]
 	}
 	if liveErr != nil {
 		return Result{}, liveErr

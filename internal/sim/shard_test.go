@@ -251,3 +251,272 @@ func TestPlanEpochsStreamingScaleWorkload(t *testing.T) {
 		t.Fatalf("streaming-scale workload produced no multi-epoch plan (%d epochs)", len(plans))
 	}
 }
+
+// classWaves builds a workload of evenly spaced waves with explicit per-wave
+// class lists — the skew shapes the work-balanced cut chooser is tested on.
+// The gap is huge relative to any job's demand, so the fluid predictor sees a
+// full drain before every wave and offers every wave start as a cut candidate;
+// the chooser's placement is then isolated from the drain predictor.
+func classWaves(gap float64, waves [][]model.Class) Workload {
+	var w Workload
+	for wv, classes := range waves {
+		for j, c := range classes {
+			w.Jobs = append(w.Jobs, workload.JobSpec{
+				ID:       fmt.Sprintf("skew-w%02d-%02d", wv, j),
+				Class:    c,
+				Priority: 3,
+				SubmitAt: float64(wv) * gap,
+			})
+		}
+	}
+	return w
+}
+
+// predictedDemand restates the planner's per-job demand formula, so the
+// balance tests measure epochs in exactly the units the chooser balances.
+func predictedDemand(cfg Config, class model.Class) float64 {
+	spec := model.Specs()[class]
+	r := spec.MaxReplicas
+	if cfg.Policy == core.RigidMin {
+		r = spec.MinReplicas
+	}
+	if r > cfg.Capacity {
+		r = cfg.Capacity
+	}
+	if r < 1 {
+		r = 1
+	}
+	return float64(spec.Steps) * cfg.Machine.IterTime(spec.Grid, r) * float64(r)
+}
+
+// epochWorks sums each plan's predicted demand.
+func epochWorks(cfg Config, w Workload, order []int32, plans []epochPlan) []float64 {
+	works := make([]float64, len(plans))
+	for k, pl := range plans {
+		for _, idx := range order[pl.subLo:pl.subHi] {
+			works[k] += predictedDemand(cfg, w.Jobs[idx].Class)
+		}
+	}
+	return works
+}
+
+// TestPlanEpochsWorkBalance pins the work-balanced chooser on three demand
+// shapes — heavy jobs clustered at the head, at the tail, and spread
+// uniformly. In every shape each epoch's predicted work must sit within one
+// wave's demand of the ideal equal share W/K, and on the skewed shapes the
+// work-balanced cuts must beat the count-balanced cuts they replaced (equal
+// submission counts put several heavy waves in one epoch).
+func TestPlanEpochsWorkBalance(t *testing.T) {
+	heavy := []model.Class{model.XLarge, model.XLarge, model.XLarge, model.XLarge}
+	light := []model.Class{model.Small}
+	shapes := map[string][][]model.Class{}
+	for i := 0; i < 4; i++ {
+		shapes["head-heavy"] = append(shapes["head-heavy"], heavy)
+	}
+	for i := 0; i < 12; i++ {
+		shapes["head-heavy"] = append(shapes["head-heavy"], light)
+		shapes["tail-heavy"] = append(shapes["tail-heavy"], light)
+	}
+	for i := 0; i < 4; i++ {
+		shapes["tail-heavy"] = append(shapes["tail-heavy"], heavy)
+	}
+	for i := 0; i < 16; i++ {
+		shapes["uniform"] = append(shapes["uniform"], []model.Class{model.Medium, model.Medium})
+	}
+
+	for name, waves := range shapes {
+		t.Run(name, func(t *testing.T) {
+			const gap = 1e9
+			w := classWaves(gap, waves)
+			cfg := DefaultConfig(core.Elastic)
+			cfg.Shards = 4
+			order := submissionOrder(w)
+			plans := planEpochs(cfg, w, order)
+			if len(plans) != cfg.Shards {
+				t.Fatalf("%d epochs planned, want %d: %+v", len(plans), cfg.Shards, plans)
+			}
+
+			var total, maxWave float64
+			for _, classes := range waves {
+				wave := 0.0
+				for _, c := range classes {
+					wave += predictedDemand(cfg, c)
+				}
+				total += wave
+				if wave > maxWave {
+					maxWave = wave
+				}
+			}
+			ideal := total / float64(cfg.Shards)
+			works := epochWorks(cfg, w, order, plans)
+			bound := maxWave * (1 + 1e-9)
+			for k, wk := range works {
+				if d := math.Abs(wk - ideal); d > bound {
+					t.Fatalf("epoch %d work %.3g is %.3g from the ideal share %.3g (max wave %.3g)\nworks: %v",
+						k, wk, d, ideal, maxWave, works)
+				}
+			}
+			if name == "uniform" {
+				// Identical waves put every equal-work target exactly on a
+				// candidate, so the partition must be exact.
+				minW, maxW := works[0], works[0]
+				for _, wk := range works[1:] {
+					minW, maxW = math.Min(minW, wk), math.Max(maxW, wk)
+				}
+				if maxW > 1.01*minW {
+					t.Fatalf("uniform waves split unevenly: %v", works)
+				}
+				return
+			}
+
+			// Count-balanced comparison: pick, on the same candidate set, the
+			// cuts nearest equal submission counts (the chooser this PR
+			// replaced), and check the work-balanced plan's largest epoch is
+			// decisively smaller.
+			var cuts []int
+			for i := 1; i < len(order); i++ {
+				if w.Jobs[order[i]].SubmitAt != w.Jobs[order[i-1]].SubmitAt {
+					cuts = append(cuts, i)
+				}
+			}
+			countBounds := []int{0}
+			prev := 0
+			for k := 1; k < cfg.Shards; k++ {
+				target := float64(len(order)) * float64(k) / float64(cfg.Shards)
+				best, bestD := -1, math.Inf(1)
+				for _, c := range cuts {
+					if c <= prev {
+						continue
+					}
+					if d := math.Abs(float64(c) - target); d < bestD {
+						best, bestD = c, d
+					}
+				}
+				if best < 0 {
+					continue
+				}
+				countBounds = append(countBounds, best)
+				prev = best
+			}
+			countPlans := make([]epochPlan, len(countBounds))
+			for k, lo := range countBounds {
+				hi := len(order)
+				if k+1 < len(countBounds) {
+					hi = countBounds[k+1]
+				}
+				countPlans[k] = epochPlan{subLo: lo, subHi: hi}
+			}
+			countMax, workMax := 0.0, 0.0
+			for _, wk := range epochWorks(cfg, w, order, countPlans) {
+				countMax = math.Max(countMax, wk)
+			}
+			for _, wk := range works {
+				workMax = math.Max(workMax, wk)
+			}
+			if workMax > 0.8*countMax {
+				t.Fatalf("work-balanced max epoch %.3g does not beat count-balanced %.3g", workMax, countMax)
+			}
+		})
+	}
+}
+
+// TestParallelChainedSpeculation pins the pipeline's mixed path: with cuts
+// planted at wave starts where the first boundary is crossed by a live
+// backlog but the later ones genuinely drain, the reconciliation walk must
+// re-execute the first window on the live chain AND still adopt at least one
+// downstream speculative epoch — all while reproducing the sequential
+// decisions and Result exactly. (TestParallelForcedReexecution covers the
+// all-dirty extreme; this covers the dirty-then-clean chain.)
+func TestParallelChainedSpeculation(t *testing.T) {
+	wave := func(wv int, at float64) []workload.JobSpec {
+		jobs := make([]workload.JobSpec, 6)
+		for j := range jobs {
+			jobs[j] = workload.JobSpec{
+				ID:       fmt.Sprintf("c-w%d-%d", wv, j),
+				Class:    model.Small,
+				Priority: 3,
+				SubmitAt: at,
+			}
+		}
+		return jobs
+	}
+
+	// Calibrate the spacing from a real run: one wave alone, submitted at 0,
+	// starts immediately, so TotalTime is its makespan.
+	cfg := DefaultConfig(core.Elastic)
+	probe, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := probe.Run(Workload{Jobs: wave(0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := res.TotalTime
+	if !(T > 0) {
+		t.Fatalf("probe wave makespan %v", T)
+	}
+
+	// Wave 1 lands mid-execution of wave 0 (a dirty boundary); waves 2 and 3
+	// land an order of magnitude after their predecessors have drained
+	// (clean boundaries the walk must adopt).
+	var jobs []workload.JobSpec
+	jobs = append(jobs, wave(0, 0)...)
+	jobs = append(jobs, wave(1, 0.5*T)...)
+	jobs = append(jobs, wave(2, 10*T)...)
+	jobs = append(jobs, wave(3, 20*T)...)
+	w := Workload{Jobs: jobs}
+
+	run := func(sharded bool) (Result, []core.Decision, shardStats) {
+		cfg := DefaultConfig(core.Elastic)
+		cfg.LogDecisions = true
+		if sharded {
+			plans := waveStartPlans(w, submissionOrder(w), cfg.Capacity)
+			if len(plans) != 4 {
+				t.Fatalf("planted %d epochs, want 4", len(plans))
+			}
+			cfg.Shards = len(plans)
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.testPlans = plans
+			res, err := s.Run(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res, s.Decisions(), s.stats
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, s.Decisions(), shardStats{}
+	}
+
+	seqRes, seqDec, _ := run(false)
+	parRes, parDec, st := run(true)
+	if !reflect.DeepEqual(seqDec, parDec) {
+		t.Fatalf("decision sequences diverge: sequential %d entries, sharded %d",
+			len(seqDec), len(parDec))
+	}
+	if !reflect.DeepEqual(seqRes, parRes) {
+		t.Fatalf("results diverge:\nsequential: %+v\nsharded:    %+v", seqRes, parRes)
+	}
+	if st.epochs != 4 {
+		t.Fatalf("stats recorded %d epochs, want 4: %+v", st.epochs, st)
+	}
+	if st.reexecuted < 1 {
+		t.Fatalf("the planted dirty boundary was not re-executed: %+v", st)
+	}
+	if st.adopted < 1 {
+		t.Fatalf("no speculative epoch was adopted past the dirty boundary: %+v", st)
+	}
+	if st.adopted+st.reexecuted != st.epochs-1 {
+		t.Fatalf("adopted %d + reexecuted %d != %d boundaries", st.adopted, st.reexecuted, st.epochs-1)
+	}
+}

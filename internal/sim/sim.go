@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"elastichpc/internal/core"
@@ -168,19 +169,29 @@ func DefaultConfig(p core.Policy) Config {
 	return Config{Policy: p, Capacity: 64, RescaleGap: 180, Machine: model.DefaultMachine()}
 }
 
-// simJob tracks a job's simulated execution state. The scheduler's core.Job
-// is embedded by value so one pooled allocation covers both.
+// simJob is a job's HOT simulation state: exactly the fields the event loop
+// and the scheduler's actuator callbacks touch while the job lives — the
+// embedded core.Job (whose own layout leads with the comparator keys), the
+// progress-model floats, and the lifecycle flags. One pooled allocation
+// covers scheduler and driver state, and the record stays free of strings,
+// slices, and metrics metadata so the inner loop walks a handful of dense
+// cache lines per event. Everything visited only at submission, rescale
+// bookkeeping, or collection time lives in the parallel simJobCold record
+// at Simulator.cold[ref].
 type simJob struct {
-	spec model.Spec
-	job  core.Job
-	meta JobMetrics
+	job core.Job
 
 	itersDone   float64
 	lastUpdate  float64 // sim time of the last progress update
 	frozenUntil float64 // rescale overhead window: no progress before this
 	seq         int64   // increments on every reschedule (and slot recycle)
+	steps       float64 // spec.Steps as a float (remaining-work arithmetic)
+	submitAt    float64
+	startAt     float64 // first-ever start (possibly on a donor member)
+	grid        int32   // spec.Grid (iteration-time table key)
 	ref         int32   // slab-slot index: byRef[ref] == this, and job.Ref carries it
 	widx        int32   // index of this job's spec in the workload
+	peak        int32   // peak replica count
 	started     bool
 	forcedOut   bool // preempted by a capacity reclaim; next start is a forced restart
 	// migratedCkpt marks a job injected from another federation member with
@@ -189,7 +200,16 @@ type simJob struct {
 	// resets an injected job's state to StateQueued, losing the
 	// StatePreempted marker).
 	migratedCkpt bool
-	timeline     []ReplicaSample
+}
+
+// simJobCold is the cold half of a job's record: identity and metrics
+// metadata, plus the retained-mode replica timeline. Indexed by the job's
+// slab ref (Simulator.cold[ref], parallel to byRef) and written only at
+// submission, on rescale bookkeeping, and at completion — the event loop
+// proper never reads it.
+type simJobCold struct {
+	meta     JobMetrics
+	timeline []ReplicaSample
 }
 
 // jobSlabSize is the simJob pool's allocation chunk. Slab entries are
@@ -210,11 +230,13 @@ type Simulator struct {
 	// state with an index load instead of the string-keyed map lookup the
 	// simulator used to pay per scheduling action. In streaming mode
 	// slots are recycled, so the directory stays O(concurrent jobs).
+	// cold is the parallel cold-half directory: cold[ref] holds the
+	// metadata and timeline for byRef[ref] (see simJobCold).
 	byRef []*simJob
+	cold  []simJobCold
 
-	// Pools: recycled events, the simJob slab, and (in streaming mode)
-	// completed-job records ready for reuse.
-	evPool   eventPool
+	// Pools: the simJob slab and (in streaming mode) completed-job records
+	// ready for reuse.
 	slab     []simJob
 	slabUsed int
 	freeJobs []*simJob
@@ -237,12 +259,21 @@ type Simulator struct {
 	processed  int
 	limit      int
 
-	// rec, when non-nil, logs the exact floating-point terms this window
-	// adds to each order-sensitive accumulator so a sharded run can replay
-	// them into one bit-identical sequential fold (see merge.go).
+	// rec, when non-nil, logs the seal values this window folds into each
+	// order-sensitive accumulator so a sharded run can replay them into one
+	// bit-identical sequential fold (see merge.go).
 	rec *runLog
 	// mergedDecisions overrides Decisions() after a sharded run.
 	mergedDecisions []core.Decision
+	// abandoned is set by the sharded reconciliation pass when this
+	// simulator's speculative epoch has been discarded (its boundary guess
+	// failed): runWindow then bails out early instead of simulating to the
+	// horizon. Only ever set on speculative epoch simulators whose results
+	// are never read.
+	abandoned atomic.Bool
+	// stats counts the reconciliation outcomes of a sharded run (facade
+	// simulator only; see shard.go).
+	stats shardStats
 	// testPlans overrides the epoch planner (tests only): it pins cut
 	// points the fluid predictor would not choose, e.g. boundaries that are
 	// guaranteed not to drain, to exercise the re-execution path.
@@ -276,6 +307,14 @@ type Simulator struct {
 	firstStart         float64
 	lastEnd            float64
 	wSum, wResp, wComp float64
+
+	// Open sub-accumulators for the order-sensitive float sums, folded into
+	// the totals above at every drained instant (see seal in merge.go). Both
+	// execution modes run the same two-level fold, which is what lets the
+	// sharded merge replay O(drains) seal values instead of O(events) terms.
+	utilSub                         float64
+	finWSub, finRespSub, finCompSub float64
+	ovhSub, lostSub                 float64
 }
 
 // epoch anchors the simulator's float timeline to the core scheduler's
@@ -332,6 +371,7 @@ func (s *Simulator) allocJob() *simJob {
 	s.slabUsed++
 	sj.ref = int32(len(s.byRef))
 	s.byRef = append(s.byRef, sj)
+	s.cold = append(s.cold, simJobCold{})
 	return sj
 }
 
@@ -342,7 +382,8 @@ func (s *Simulator) newSimJob(js *JobSpec, spec model.Spec, widx int32) *simJob 
 	// Bumping seq past the previous lifecycle invalidates any stale
 	// completion event still in the heap for a recycled slot.
 	seq := sj.seq + 1
-	*sj = simJob{spec: spec, seq: seq, ref: sj.ref, widx: widx}
+	*sj = simJob{seq: seq, ref: sj.ref, widx: widx,
+		steps: float64(spec.Steps), grid: int32(spec.Grid), submitAt: js.SubmitAt}
 	sj.job = core.Job{
 		ID:          js.ID,
 		Ref:         sj.ref,
@@ -357,21 +398,16 @@ func (s *Simulator) newSimJob(js *JobSpec, spec model.Spec, widx int32) *simJob 
 	if sj.job.MaxReplicas > s.cfg.Capacity {
 		sj.job.MaxReplicas = s.cfg.Capacity
 	}
-	sj.meta = JobMetrics{ID: js.ID, Class: js.Class, Priority: js.Priority, SubmitAt: js.SubmitAt}
+	c := &s.cold[sj.ref]
+	c.meta = JobMetrics{ID: js.ID, Class: js.Class, Priority: js.Priority, SubmitAt: js.SubmitAt}
+	c.timeline = c.timeline[:0]
 	return sj
 }
 
-// push arms a pooled event.
+// push arms an event.
 func (s *Simulator) push(at float64, kind evKind, job *simJob, seq int64) {
-	ev := s.evPool.get()
 	s.ord++
-	*ev = event{at: at, kind: kind, job: job, seq: seq, ord: s.ord}
-	s.events.push(ev)
-}
-
-// recycleEvent returns a popped event to the pool.
-func (s *Simulator) recycleEvent(ev *event) {
-	s.evPool.put(ev)
+	s.events.push(evKey{at: at, ord: s.ord}, evPayload{job: job, seq: seq, kind: kind})
 }
 
 // Run simulates the workload to completion and returns the metrics.
@@ -504,14 +540,14 @@ func (s *Simulator) runWindow() error {
 	avail := s.cfg.Availability.Events
 	for {
 		if s.capi < s.capHi &&
-			(!s.final || s.cursor < s.subHi || len(s.events) > 0 ||
+			(!s.final || s.cursor < s.subHi || s.events.len() > 0 ||
 				s.sched.NumRunning() > 0 || s.sched.NumQueued() > 0) {
 			// Trailing capacity events after all work has drained are
 			// skipped in the final window (the guard above): they cannot
 			// affect any metric.
 			at := avail[s.capi].At
 			if (s.cursor >= s.subHi || at <= w.Jobs[s.order[s.cursor]].SubmitAt) &&
-				(len(s.events) == 0 || at <= s.events.top().at) {
+				(s.events.len() == 0 || at <= s.events.topAt()) {
 				s.advanceTo(at)
 				for {
 					ev := avail[s.capi]
@@ -530,7 +566,7 @@ func (s *Simulator) runWindow() error {
 		}
 		if s.cursor < s.subHi {
 			at := w.Jobs[s.order[s.cursor]].SubmitAt
-			if len(s.events) == 0 || at <= s.events.top().at {
+			if s.events.len() == 0 || at <= s.events.topAt() {
 				s.advanceTo(at)
 				for {
 					widx := s.order[s.cursor]
@@ -549,7 +585,7 @@ func (s *Simulator) runWindow() error {
 				continue
 			}
 		}
-		if len(s.events) == 0 || s.events.top().at >= s.horizon {
+		if s.events.len() == 0 || s.events.topAt() >= s.horizon {
 			// Window drained: nothing left before the horizon. Heap
 			// events at or past it (stale kicks or stale completions,
 			// at most — both bitwise no-ops) belong to the successor
@@ -562,75 +598,82 @@ func (s *Simulator) runWindow() error {
 			// Defensive: a finite workload must settle in far fewer
 			// events; fail loudly rather than spin.
 			return fmt.Errorf("sim: runaway event loop at t=%.1f: %d running, %d queued, %d heap",
-				s.now, s.sched.NumRunning(), s.sched.NumQueued(), len(s.events))
+				s.now, s.sched.NumRunning(), s.sched.NumQueued(), s.events.len())
 		}
-		ev := s.events.pop()
-		if ev.kind == evKick {
+		if s.processed&255 == 0 && s.abandoned.Load() {
+			return errEpochAbandoned
+		}
+		k, p := s.events.pop()
+		if p.kind == evKick {
 			// Skip superseded kicks, and kicks armed for a moment
 			// beyond the workload's life — before advancing the
 			// clock, so they don't distort the utilization window.
-			if ev.at != s.kickAt {
-				s.recycleEvent(ev)
+			if k.at != s.kickAt {
 				continue
 			}
 			if s.sched.NumRunning() == 0 && s.sched.NumQueued() == 0 {
 				s.kickAt = -1
-				s.recycleEvent(ev)
 				continue
 			}
 		}
-		if ev.kind == evComplete && ev.seq != ev.job.seq {
+		if p.kind == evComplete && p.seq != p.job.seq {
 			// Stale completion from before a rescale: drop it before
 			// advancing the clock, like superseded kicks, so the
 			// utilization integral's term boundaries are a pure function
 			// of live events — an adopted shard epoch never sees its
 			// predecessor's parked stale events, and must fold the same
 			// float terms as the sequential loop.
-			s.recycleEvent(ev)
 			continue
 		}
-		s.advanceTo(ev.at)
-		switch ev.kind {
+		s.advanceTo(k.at)
+		switch p.kind {
 		case evComplete:
-			sj := ev.job
+			sj := p.job
 			s.progress(sj)
 			// Release the job's workers in the utilization timeline
 			// before the scheduler hands them to other jobs.
 			s.record(-sj.job.Replicas, sj, 0)
-			sj.meta.EndAt = s.now
 			s.sched.OnJobComplete(&sj.job)
 			s.finish(sj)
+			if s.sched.NumRunning() == 0 && s.sched.NumQueued() == 0 {
+				// The cluster fully drained: fold the open sub-accumulators
+				// into the run totals. Drained instants are the only places
+				// a shard cut can be adopted, so sealing here — in every
+				// mode — keeps the fold grouping identical everywhere.
+				s.seal()
+			}
 		case evKick:
 			s.kickAt = -1
 			s.sched.Reschedule()
 		}
-		s.recycleEvent(ev)
 		s.scheduleKick()
 	}
 }
 
-// finish folds a completed job into the aggregate metrics and, in streaming
-// mode, recycles its record.
+// finish folds a completed job into the aggregate metrics — from the hot
+// record alone — then back-fills the cold metadata for collection and, in
+// streaming mode, recycles the record instead.
 func (s *Simulator) finish(sj *simJob) {
-	m := &sj.meta
-	m.ResponseTime = m.StartAt - m.SubmitAt
-	m.CompletionTime = m.EndAt - m.SubmitAt
-	if m.EndAt > s.lastEnd {
-		s.lastEnd = m.EndAt
+	resp := sj.startAt - sj.submitAt
+	comp := s.now - sj.submitAt
+	if s.now > s.lastEnd {
+		s.lastEnd = s.now
 	}
-	wgt := float64(m.Priority)
-	wr := wgt * m.ResponseTime
-	wc := wgt * m.CompletionTime
-	s.wSum += wgt
-	s.wResp += wr
-	s.wComp += wc
-	if s.rec != nil {
-		s.rec.fin = append(s.rec.fin, finTerm{w: wgt, wr: wr, wc: wc})
-	}
+	wgt := float64(sj.job.Priority)
+	s.finWSub += wgt
+	s.finRespSub += wgt * resp
+	s.finCompSub += wgt * comp
 	s.completed++
 	if s.cfg.Streaming {
 		s.freeJobs = append(s.freeJobs, sj)
+		return
 	}
+	m := &s.cold[sj.ref].meta
+	m.Replicas = int(sj.peak)
+	m.StartAt = sj.startAt
+	m.EndAt = s.now
+	m.ResponseTime = resp
+	m.CompletionTime = comp
 }
 
 // Decisions returns the scheduler's decision log, oldest first. Empty unless
@@ -703,15 +746,13 @@ func CapacityArea(base float64, steps []UtilSample, end float64) float64 {
 
 // advanceUtil accumulates the utilization integral up to t. Zero terms
 // (idle time, repeated samples at one instant) add exactly +0.0 to a
-// non-negative accumulator — a bitwise no-op — so they are skipped, which
-// also keeps them out of the sharded replay log: the nonzero terms alone,
-// folded in order, reproduce the sequential sum bit-for-bit.
+// non-negative accumulator — a bitwise no-op — so they are skipped: the
+// nonzero terms alone, folded in order, reproduce the full sum bit-for-bit
+// (and an adopted epoch's trailing idle stretch contributes nothing, which
+// keeps its seal sequence identical to the sequential loop's).
 func (s *Simulator) advanceUtil(t float64) {
 	if d := float64(s.used) * (t - s.utilLast); d != 0 {
-		s.utilArea += d
-		if s.rec != nil {
-			s.rec.util = append(s.rec.util, d)
-		}
+		s.utilSub += d
 	}
 	s.utilLast = t
 }
@@ -734,7 +775,7 @@ func (s *Simulator) progressFraction(j *core.Job) float64 {
 		return 0
 	}
 	sj := s.byRef[j.Ref]
-	if sj.spec.Steps == 0 {
+	if sj.steps == 0 {
 		return 0
 	}
 	done := sj.itersDone
@@ -743,12 +784,12 @@ func (s *Simulator) progressFraction(j *core.Job) float64 {
 		from = sj.frozenUntil
 	}
 	if s.now > from && j.Replicas > 0 {
-		done += (s.now - from) / s.cfg.Machine.IterTime(sj.spec.Grid, j.Replicas)
+		done += (s.now - from) / s.cfg.Machine.IterTime(int(sj.grid), j.Replicas)
 	}
-	if done > float64(sj.spec.Steps) {
-		done = float64(sj.spec.Steps)
+	if done > sj.steps {
+		done = sj.steps
 	}
-	return done / float64(sj.spec.Steps)
+	return done / sj.steps
 }
 
 // progress brings a job's iteration count up to date at the current time.
@@ -758,10 +799,10 @@ func (s *Simulator) progress(sj *simJob) {
 		from = sj.frozenUntil
 	}
 	if s.now > from && sj.job.Replicas > 0 {
-		iterTime := s.cfg.Machine.IterTime(sj.spec.Grid, sj.job.Replicas)
+		iterTime := s.cfg.Machine.IterTime(int(sj.grid), sj.job.Replicas)
 		sj.itersDone += (s.now - from) / iterTime
-		if sj.itersDone > float64(sj.spec.Steps) {
-			sj.itersDone = float64(sj.spec.Steps)
+		if sj.itersDone > sj.steps {
+			sj.itersDone = sj.steps
 		}
 	}
 	sj.lastUpdate = s.now
@@ -773,8 +814,8 @@ func (s *Simulator) reschedule(sj *simJob, overhead float64, replicas int) {
 	sj.seq++
 	start := s.now + overhead
 	sj.frozenUntil = start
-	remaining := float64(sj.spec.Steps) - sj.itersDone
-	iterTime := s.cfg.Machine.IterTime(sj.spec.Grid, replicas)
+	remaining := sj.steps - sj.itersDone
+	iterTime := s.cfg.Machine.IterTime(int(sj.grid), replicas)
 	finish := start + remaining*iterTime
 	s.push(finish, evComplete, sj, sj.seq)
 }
@@ -785,12 +826,13 @@ func (s *Simulator) reschedule(sj *simJob, overhead float64, replicas int) {
 func (s *Simulator) record(delta int, sj *simJob, replicas int) {
 	s.advanceUtil(s.now)
 	s.used += delta
-	if replicas > sj.meta.Replicas {
-		sj.meta.Replicas = replicas // peak allocation
+	if int32(replicas) > sj.peak {
+		sj.peak = int32(replicas) // peak allocation
 	}
 	if !s.cfg.Streaming {
 		s.utilTL = append(s.utilTL, UtilSample{At: s.now, Used: s.used})
-		sj.timeline = append(sj.timeline, ReplicaSample{At: s.now, Replicas: replicas})
+		c := &s.cold[sj.ref]
+		c.timeline = append(c.timeline, ReplicaSample{At: s.now, Replicas: replicas})
 	}
 }
 
@@ -805,7 +847,7 @@ func (a *simActuator) StartJob(j *core.Job, replicas int) error {
 	sj := s.byRef[j.Ref]
 	if !sj.started {
 		sj.started = true
-		sj.meta.StartAt = s.now
+		sj.startAt = s.now
 		if !s.haveStart || s.now < s.firstStart {
 			s.haveStart = true
 			s.firstStart = s.now
@@ -815,18 +857,13 @@ func (a *simActuator) StartJob(j *core.Job, replicas int) error {
 	if j.State == core.StatePreempted || sj.migratedCkpt {
 		sj.migratedCkpt = false
 		// Restarting from a disk checkpoint: charge restart+restore.
-		ph := s.cfg.Machine.RescaleOverhead(sj.spec.Grid, replicas, replicas)
+		ph := s.cfg.Machine.RescaleOverhead(int(sj.grid), replicas, replicas)
 		resumeOverhead = ph.Restart + ph.Restore
 		area := resumeOverhead * float64(replicas)
-		s.overheadArea += area
-		lost := 0.0
+		s.ovhSub += area
 		if sj.forcedOut {
 			sj.forcedOut = false
-			lost = area
-			s.workLost += area
-		}
-		if s.rec != nil {
-			s.rec.ovh = append(s.rec.ovh, ovhTerm{area: area, lost: lost})
+			s.lostSub += area
 		}
 	}
 	sj.lastUpdate = s.now
@@ -847,22 +884,20 @@ func (a *simActuator) rescale(j *core.Job, to int) error {
 	s := a.sim()
 	sj := s.byRef[j.Ref]
 	s.progress(sj) // credit progress at the old replica count first
-	ph := s.cfg.Machine.RescaleOverhead(sj.spec.Grid, j.Replicas, to)
+	ph := s.cfg.Machine.RescaleOverhead(int(sj.grid), j.Replicas, to)
 	tot := ph.Total()
 	delta := to - j.Replicas
-	sj.meta.Rescales++
-	sj.meta.OverheadSec += tot
+	if !s.cfg.Streaming {
+		m := &s.cold[sj.ref].meta
+		m.Rescales++
+		m.OverheadSec += tot
+	}
 	area := tot * float64(to)
-	s.overheadArea += area
-	lost := 0.0
+	s.ovhSub += area
 	if s.sched.Reclaiming() {
 		// The shrink was forced by a capacity loss, not chosen by the
 		// policy: its frozen window is work the availability event cost.
-		lost = area
-		s.workLost += area
-	}
-	if s.rec != nil {
-		s.rec.ovh = append(s.rec.ovh, ovhTerm{area: area, lost: lost})
+		s.lostSub += area
 	}
 	s.record(delta, sj, to)
 	s.reschedule(sj, tot, to)
@@ -889,6 +924,11 @@ func (a *simActuator) PreemptJob(j *core.Job) error {
 // share this derivation bit-for-bit. cs and endCap come from the owning
 // scheduler (sequential) or the segment merge (sharded).
 func (s *Simulator) resultFromTotals(cs core.CapacityStats, endCap int) Result {
+	// Fold any unsealed tail first. After a batch run this adds exact zeros
+	// (the last completion drained the cluster and sealed), so it is a
+	// bitwise no-op there; stepping-API runs that end without a final
+	// completion (withdrawals) land their open sub-runs here.
+	s.seal()
 	res := Result{Policy: s.cfg.Policy}
 	res.TotalTime = s.lastEnd - s.firstStart
 	res.FirstStart = s.firstStart
@@ -946,9 +986,10 @@ func (s *Simulator) collect(w Workload) (Result, error) {
 			// widx places each record back in workload order.
 			res.Jobs = make([]JobMetrics, len(w.Jobs))
 			res.ReplicaTimelines = make(map[string][]ReplicaSample, len(w.Jobs))
-			for _, sj := range s.byRef {
-				res.Jobs[sj.widx] = sj.meta
-				res.ReplicaTimelines[sj.meta.ID] = sj.timeline
+			for i, sj := range s.byRef {
+				c := &s.cold[i]
+				res.Jobs[sj.widx] = c.meta
+				res.ReplicaTimelines[c.meta.ID] = c.timeline
 			}
 		} else {
 			// Migration reshaped the job set: workload indices no longer
@@ -957,12 +998,13 @@ func (s *Simulator) collect(w Workload) (Result, error) {
 			// them deterministically by (SubmitAt, ID).
 			res.Jobs = make([]JobMetrics, 0, s.completed)
 			res.ReplicaTimelines = make(map[string][]ReplicaSample, s.completed)
-			for _, sj := range s.byRef {
+			for i, sj := range s.byRef {
 				if sj.job.State != core.StateCompleted {
 					continue
 				}
-				res.Jobs = append(res.Jobs, sj.meta)
-				res.ReplicaTimelines[sj.meta.ID] = sj.timeline
+				c := &s.cold[i]
+				res.Jobs = append(res.Jobs, c.meta)
+				res.ReplicaTimelines[c.meta.ID] = c.timeline
 			}
 			sort.Slice(res.Jobs, func(a, b int) bool {
 				if res.Jobs[a].SubmitAt != res.Jobs[b].SubmitAt {

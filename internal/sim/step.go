@@ -146,10 +146,10 @@ func (s *Simulator) QueuedJobs() []QueuedJob {
 		out = append(out, QueuedJob{
 			Ref:          j.Ref,
 			ID:           j.ID,
-			Class:        sj.meta.Class,
+			Class:        s.cold[j.Ref].meta.Class,
 			Priority:     j.Priority,
-			SubmitAt:     sj.meta.SubmitAt,
-			MinReplicas:  sj.spec.MinReplicas,
+			SubmitAt:     sj.submitAt,
+			MinReplicas:  j.MinReplicas,
 			Checkpointed: sj.started || j.State == core.StatePreempted || sj.migratedCkpt,
 		})
 		return true
@@ -165,18 +165,19 @@ func (s *Simulator) Withdraw(ref int32) (MigratedJob, error) {
 		return MigratedJob{}, fmt.Errorf("sim: withdraw: ref %d out of range", ref)
 	}
 	sj := s.byRef[ref]
+	c := &s.cold[ref]
 	mj := MigratedJob{
 		Spec: JobSpec{
-			ID:       sj.meta.ID,
-			Class:    sj.meta.Class,
-			Priority: sj.meta.Priority,
-			SubmitAt: sj.meta.SubmitAt,
+			ID:       c.meta.ID,
+			Class:    c.meta.Class,
+			Priority: c.meta.Priority,
+			SubmitAt: sj.submitAt,
 		},
 		ItersDone:    sj.itersDone,
 		Checkpointed: sj.started || sj.job.State == core.StatePreempted || sj.migratedCkpt,
 		ForcedOut:    sj.forcedOut,
 		Started:      sj.started,
-		StartAt:      sj.meta.StartAt,
+		StartAt:      sj.startAt,
 	}
 	if err := s.sched.Withdraw(&sj.job); err != nil {
 		return MigratedJob{}, err
@@ -214,7 +215,7 @@ func (s *Simulator) Inject(mj MigratedJob) error {
 	sj.forcedOut = mj.ForcedOut && mj.Checkpointed
 	if mj.Started {
 		sj.started = true
-		sj.meta.StartAt = mj.StartAt
+		sj.startAt = mj.StartAt
 		// The job's first start happened on its donor; fold it into this
 		// member's experiment window so the fleet window stays exact.
 		if !s.haveStart || mj.StartAt < s.firstStart {
