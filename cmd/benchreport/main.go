@@ -161,6 +161,7 @@ func bestRuns(benchmarks []metrics.Benchmark) []metrics.Benchmark {
 		if m.Custom == nil && b.Custom != nil {
 			m.Custom = make(map[string]float64, len(b.Custom))
 		}
+		//lint:deterministic per-unit max/min merge is commutative; listing order is sorted later by customUnits
 		for unit, v := range b.Custom {
 			have, ok := m.Custom[unit]
 			switch {

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"elastichpc/internal/metrics"
+)
+
+// TestCustomUnitsSorted pins the listing order of ungated custom metrics:
+// the keys come out of a map, so the sort is what keeps report output
+// diffable run to run (the shape elasticvet's nomapiter enforces).
+func TestCustomUnitsSorted(t *testing.T) {
+	b := metrics.Benchmark{Custom: map[string]float64{
+		"jobs/s": 1, "allocs/job": 2, "migrations": 3, "c1_util": 4,
+	}}
+	got := customUnits(b, "jobs/s")
+	want := []string{"allocs/job", "c1_util", "migrations"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("customUnits = %v, want sorted %v", got, want)
+	}
+}
+
+// TestBestRunsCustomMergeOrderInsensitive pins that the per-unit best-of-N
+// merge over the Custom map is commutative — max for higher-is-better "/s"
+// units, min otherwise — so the annotated map range in bestRuns cannot leak
+// iteration order into the report no matter which order the keys arrive in.
+func TestBestRunsCustomMergeOrderInsensitive(t *testing.T) {
+	runs := []metrics.Benchmark{
+		{Name: "BenchmarkX", Iterations: 1, NsPerOp: 100,
+			Custom: map[string]float64{"jobs/s": 10, "allocs/job": 5, "waves": 2}},
+		{Name: "BenchmarkX", Iterations: 1, NsPerOp: 90,
+			Custom: map[string]float64{"jobs/s": 12, "allocs/job": 7, "waves": 1}},
+	}
+	for trial := 0; trial < 16; trial++ {
+		out := bestRuns(runs)
+		if len(out) != 1 {
+			t.Fatalf("bestRuns collapsed to %d entries, want 1", len(out))
+		}
+		want := map[string]float64{"jobs/s": 12, "allocs/job": 5, "waves": 1}
+		if !reflect.DeepEqual(out[0].Custom, want) {
+			t.Fatalf("trial %d: merged Custom = %v, want %v", trial, out[0].Custom, want)
+		}
+		if out[0].NsPerOp != 90 {
+			t.Fatalf("trial %d: NsPerOp = %v, want best 90", trial, out[0].NsPerOp)
+		}
+	}
+}

@@ -226,15 +226,24 @@ func runMatrix(artifacts string, window int) int {
 			fmt.Fprintln(os.Stderr, "conftest:", err)
 			return 2
 		}
-		for suffix, st := range map[string]*conformance.Stream{"ref": f.Ref, "got": f.Got} {
-			if err := st.SaveFile(base + "." + suffix + ".json"); err != nil {
-				fmt.Fprintln(os.Stderr, "conftest:", err)
-				return 2
-			}
+		if err := saveStreams(base, f.Ref, f.Got); err != nil {
+			fmt.Fprintln(os.Stderr, "conftest:", err)
+			return 2
 		}
 		fmt.Printf("streams saved to %s.{ref,got}.json\n", base)
 	}
 	return 1
+}
+
+// saveStreams writes a diverging pair as <base>.ref.json then
+// <base>.got.json, in that fixed order. This used to range a two-entry map,
+// which made the save order — and which SaveFile error surfaced first —
+// vary run to run (flagged by elasticvet's nomapiter).
+func saveStreams(base string, ref, got *conformance.Stream) error {
+	if err := ref.SaveFile(base + ".ref.json"); err != nil {
+		return err
+	}
+	return got.SaveFile(base + ".got.json")
 }
 
 // sanitize makes a case name filesystem-safe.

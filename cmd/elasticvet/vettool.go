@@ -1,0 +1,156 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"elastichpc/internal/lint"
+)
+
+// The go vet driver protocol, reimplemented on the standard library (the
+// x/tools unitchecker is not vendored here). For each package the go command
+// writes a JSON config naming the source files, the import map, and the
+// export-data file of every dependency, then invokes the tool with that one
+// path. The tool type-checks the package against the export data, runs the
+// analyzers, prints findings to stderr, and must (a) answer -V=full with a
+// stable fingerprint for the build cache and (b) write the facts file named
+// by VetxOutput — the go command stores it as the action's output even
+// though elasticvet's analyzers exchange no facts.
+
+// vetConfig mirrors the fields of the go command's vet.cfg that elasticvet
+// consumes; unknown fields are ignored by encoding/json.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOutput                string
+	VetxOnly                  bool
+	SucceedOnTypecheckFailure bool
+}
+
+// vetTool runs one vet.cfg unit of work and returns the process exit code
+// (0 clean, 2 findings — any nonzero status makes go vet report the unit).
+func vetTool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elasticvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "elasticvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if err := writeVetx(cfg.VetxOutput); err != nil {
+		fmt.Fprintln(os.Stderr, "elasticvet:", err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "elasticvet:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tconf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {}, // collect all; first error returned by Check
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "elasticvet: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags := lint.Run(&lint.Package{
+		Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info,
+	}, lint.Suite())
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// writeVetx writes the (empty) facts file the go command expects as the vet
+// action's output.
+func writeVetx(path string) error {
+	if path == "" {
+		return nil
+	}
+	return os.WriteFile(path, []byte("elasticvet: no facts\n"), 0o666)
+}
+
+// printVersion answers -V=full: the go command hashes this line into the
+// build cache key, so it must change when the tool's behavior does —
+// fingerprinting the executable itself guarantees that.
+func printVersion() int {
+	h := sha256.New()
+	exe, err := os.Executable()
+	if err == nil {
+		f, err := os.Open(exe)
+		if err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("elasticvet version devel buildID=%x\n", h.Sum(nil)[:16])
+	return 0
+}

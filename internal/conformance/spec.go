@@ -208,6 +208,7 @@ func SpecFromMeta(meta map[string]string) (RunSpec, error) {
 
 func cloneMeta(meta map[string]string) map[string]string {
 	out := make(map[string]string, len(meta))
+	//lint:deterministic per-key copy into a fresh map; every visit order yields the same map
 	for k, v := range meta {
 		out[k] = v
 	}

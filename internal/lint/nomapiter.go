@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoMapIter flags `range` over a map in deterministic packages (and in the
+// CLIs, where map order leaks into printed output). Go randomizes map
+// iteration order per run, so any decision, accumulation, or output derived
+// from an unordered walk diverges between two identical runs — the exact
+// class of bug the conformance matrix exists to catch, surfaced at compile
+// time instead.
+//
+// Two shapes are allowed: the collect-keys-then-sort idiom, where the loop
+// body only appends the key to a slice that the very next statement sorts;
+// and sites annotated //lint:deterministic <reason> (e.g. a fold into a
+// commutative structure such as another map or an integer count).
+var NoMapIter = &Analyzer{
+	Name: "nomapiter",
+	Doc:  "forbid range over maps where iteration order can leak into results or output",
+	Run: func(pass *Pass) {
+		if !inOrderedOutput(pass) {
+			return
+		}
+		pass.Walk(func(n ast.Node) bool {
+			blk, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, st := range blk.List {
+				rs, ok := st.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				tv, ok := pass.Info.Types[rs.X]
+				if !ok {
+					continue
+				}
+				if _, isMap := types.Unalias(tv.Type.Underlying()).(*types.Map); !isMap {
+					continue
+				}
+				var next ast.Stmt
+				if i+1 < len(blk.List) {
+					next = blk.List[i+1]
+				}
+				if sortedCollect(pass.Info, rs, next) {
+					continue
+				}
+				pass.Reportf(rs.For,
+					"range over map %s: iteration order is nondeterministic; collect and sort the keys first, or annotate //lint:deterministic <reason>",
+					render(rs.X))
+			}
+			return true
+		})
+	},
+}
+
+// sortedCollect reports whether rs is the blessed collect-then-sort idiom:
+// the body is exactly `ks = append(ks, ...)` — optionally wrapped in a
+// single filtering if with no else — and next sorts ks via the sort or
+// slices package.
+func sortedCollect(info *types.Info, rs *ast.RangeStmt, next ast.Stmt) bool {
+	if len(rs.Body.List) != 1 || next == nil {
+		return false
+	}
+	body := rs.Body.List[0]
+	if ifs, ok := body.(*ast.IfStmt); ok && ifs.Else == nil && ifs.Init == nil && len(ifs.Body.List) == 1 {
+		body = ifs.Body.List[0]
+	}
+	asg, ok := body.(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	dst, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 1 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	if src, ok := call.Args[0].(*ast.Ident); !ok || obj(info, src) != obj(info, dst) {
+		return false
+	}
+	es, ok := next.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	sortCall, ok := es.X.(*ast.CallExpr)
+	if !ok || len(sortCall.Args) < 1 {
+		return false
+	}
+	pkg, _, ok := pkgFunc(info, sortCall)
+	if !ok || (pkg != "sort" && pkg != "slices") {
+		return false
+	}
+	arg, ok := sortCall.Args[0].(*ast.Ident)
+	return ok && obj(info, arg) == obj(info, dst)
+}
+
+// obj resolves an identifier to its object via uses or defs.
+func obj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// render prints a short source form of simple expressions for messages.
+func render(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return render(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return render(e.X) + "[...]"
+	case *ast.ParenExpr:
+		return render(e.X)
+	}
+	return "expression"
+}

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoStrayGoroutine confines goroutine launches and channel creation in the
+// deterministic packages to the blessed concurrency sites: sim.RunTasks
+// (pool.go — indexed results, lowest-index error wins) and the
+// chained-speculation shard pipeline (shard.go — per-epoch done channels
+// reconciled by a sequential adopter). Those two sites are the ones whose
+// merge discipline is proven bit-identical by the conformance matrix; a
+// goroutine anywhere else can interleave float folds or decision appends in
+// schedule-dependent order, which no test seed is guaranteed to catch.
+var NoStrayGoroutine = &Analyzer{
+	Name: "nostraygoroutine",
+	Doc:  "confine go statements and channel creation to the blessed concurrency sites",
+	Run: func(pass *Pass) {
+		if !inDeterministic(pass) {
+			return
+		}
+		pass.Walk(func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if !blessedConcurrency[[2]string{pass.Path(), pass.File(n.Pos())}] {
+					pass.Reportf(n.Pos(),
+						"go statement outside the blessed concurrency sites (sim.RunTasks, the shard pipeline): route parallelism through them or annotate //lint:deterministic <reason>")
+				}
+			case *ast.CallExpr:
+				if !isMakeChan(pass.Info, n) {
+					return true
+				}
+				if !blessedConcurrency[[2]string{pass.Path(), pass.File(n.Pos())}] {
+					pass.Reportf(n.Pos(),
+						"channel creation outside the blessed concurrency sites: deterministic packages synchronize only through RunTasks and the shard pipeline")
+				}
+			}
+			return true
+		})
+	},
+}
+
+// isMakeChan reports whether call is make(chan ...).
+func isMakeChan(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, ok := info.Uses[id].(*types.Builtin); !ok {
+		return false
+	}
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	_, isChan := types.Unalias(tv.Type.Underlying()).(*types.Chan)
+	return isChan
+}

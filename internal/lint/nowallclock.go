@@ -1,0 +1,61 @@
+package lint
+
+import "go/ast"
+
+// NoWallClock forbids wall-clock reads and ambient randomness in the
+// deterministic packages. Simulated time comes only from the event loop
+// (Scheduler.tnow, the sim cursor) — a time.Now() anywhere in a decision
+// path timestamps two identical runs differently — and randomness must flow
+// from an explicit seeded *rand.Rand so a scenario's seed fully determines
+// its stream. math/rand's package-level functions draw from the shared
+// global source, which is both unseeded across runs and contended across
+// goroutines, so any call to them is a contract violation even in code that
+// "only" generates workloads.
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbid time.Now/timers and global math/rand in deterministic packages",
+	Run: func(pass *Pass) {
+		if !inDeterministic(pass) {
+			return
+		}
+		pass.Walk(func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := pkgFunc(pass.Info, call)
+			if !ok {
+				return true
+			}
+			switch pkg {
+			case "time":
+				if wallClockFuncs[name] {
+					pass.Reportf(call.Pos(),
+						"time.%s reads the wall clock: simulated time must come from the event loop (annotate //lint:deterministic <reason> if this is genuinely outside the simulation)", name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededConstructors[name] {
+					pass.Reportf(call.Pos(),
+						"rand.%s draws from the global source: take an explicit seeded *rand.Rand (rand.New(rand.NewSource(seed))) so the scenario seed pins the stream", name)
+				}
+			}
+			return true
+		})
+	},
+}
+
+// wallClockFuncs are the time package entry points that read or schedule
+// against real time. Constructors of constant values (time.Unix, time.Date,
+// time.Duration arithmetic) are fine.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// seededConstructors are the math/rand (and v2) package-level functions that
+// build an explicit generator rather than drawing from the global source.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RingLogOnly keeps the decision log single-sourced: core.Decision records
+// are constructed, and the logRing mutated, only by the append paths in
+// core's log.go (record, recordCapacity, logRing.add, MergeLogs). The ring
+// is the audit trail the conformance streams serialize — a Decision built or
+// injected anywhere else bypasses the EnableLog gate, the ring bound, and
+// the tnow timestamp discipline, so replay diffs would compare streams that
+// no scheduler actually emitted. Inside core the analyzer also fences the
+// ring's internals (Scheduler.log and logRing's fields) to log.go; other
+// packages may freely *read* decisions (Log() hands out copies) but must not
+// fabricate them.
+var RingLogOnly = &Analyzer{
+	Name: "ringlogonly",
+	Doc:  "decision records flow only through core's logRing append paths in log.go",
+	Run: func(pass *Pass) {
+		inCore := pass.Path() == corePkg
+		if !inCore && !inDeterministic(pass) {
+			return
+		}
+		pass.Walk(func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				tv, ok := pass.Info.Types[n]
+				if !ok || !isCoreNamed(tv.Type, "Decision") {
+					return true
+				}
+				if inCore && pass.File(n.Pos()) == ringFile {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"core.Decision constructed outside %s: decision records must be appended through the logRing paths (Scheduler.record/recordCapacity)", ringFile)
+			case *ast.CallExpr:
+				if !inCore || pass.File(n.Pos()) == ringFile {
+					return true
+				}
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "add" {
+					return true
+				}
+				s, ok := pass.Info.Selections[sel]
+				if !ok || s.Kind() != types.MethodVal {
+					return true
+				}
+				if isCoreNamed(s.Recv(), "logRing") {
+					pass.Reportf(n.Pos(),
+						"logRing.add called outside %s: append decisions through Scheduler.record/recordCapacity so the EnableLog gate and timestamps stay uniform", ringFile)
+				}
+			case *ast.AssignStmt:
+				if !inCore || pass.File(n.Pos()) == ringFile {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					owner, field, ok := namedField(pass.Info, sel)
+					if !ok {
+						continue
+					}
+					if owner.Obj().Name() == "logRing" ||
+						(owner.Obj().Name() == "Scheduler" && field == "log") {
+						pass.Reportf(n.TokPos,
+							"write to the decision ring (%s.%s) outside %s: the ring's bound and head bookkeeping live in log.go only", owner.Obj().Name(), field, ringFile)
+					}
+				}
+			}
+			return true
+		})
+	},
+}
+
+// isCoreNamed reports whether t (after pointer/alias unwrapping) is the
+// named type core.<name>.
+func isCoreNamed(t types.Type, name string) bool {
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == corePkg
+}

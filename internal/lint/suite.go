@@ -1,0 +1,14 @@
+package lint
+
+// Suite returns every elasticvet analyzer, in the order diagnostics group
+// most readably: data-flow invariants first, boundary contracts last.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		NoMapIter,
+		NoWallClock,
+		NoStrayGoroutine,
+		SealedFloat,
+		RingLogOnly,
+		NoBoundaryPanic,
+	}
+}

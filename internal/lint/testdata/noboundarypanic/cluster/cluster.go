@@ -1,0 +1,75 @@
+// pkgpath: elastichpc/internal/cluster
+
+// Package cluster exercises noboundarypanic on a library-boundary package:
+// exported entry points must return errors, not panic.
+package cluster
+
+import "errors"
+
+// Runner is an exported receiver: its exported methods are entry points.
+type Runner struct{ n int }
+
+// guard is an unexported receiver: its methods are internal.
+type guard struct{}
+
+// Run panics straight through the boundary: flagged.
+func (r *Runner) Run(n int) int {
+	if n < 0 {
+		panic("negative n") // want "can cross the library boundary"
+	}
+	return r.n + n
+}
+
+// RunChecked returns an error instead: the contract.
+func (r *Runner) RunChecked(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("negative n")
+	}
+	return r.n + n, nil
+}
+
+// RunGuarded recovers at the entry point, so inner panics stay inside.
+func (r *Runner) RunGuarded(n int) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = errors.New("recovered")
+		}
+	}()
+	if n < 0 {
+		panic("caught at the boundary")
+	}
+	return nil
+}
+
+// RunCallback panics from a nested literal — callbacks run on the caller's
+// goroutine, so this crosses the boundary too.
+func RunCallback(apply func(func(int))) {
+	apply(func(v int) {
+		if v < 0 {
+			panic("bad callback value") // want "noboundarypanic"
+		}
+	})
+}
+
+// Check panics on an unexported method: internal, not flagged (a recovering
+// exported wrapper may own it).
+func (g guard) check(n int) {
+	if n < 0 {
+		panic("internal invariant")
+	}
+}
+
+// mustPositive is unexported: not an entry point.
+func mustPositive(n int) {
+	if n <= 0 {
+		panic("not positive")
+	}
+}
+
+// RunAnnotated documents a justified exception.
+func RunAnnotated(n int) {
+	if n < 0 {
+		//lint:deterministic impossible by construction, guarded by the caller's validation
+		panic("unreachable")
+	}
+}

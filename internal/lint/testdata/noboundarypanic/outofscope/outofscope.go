@@ -1,0 +1,14 @@
+// pkgpath: elastichpc/internal/workload
+
+// Package outofscope shows the Must* convention stays legal outside the
+// boundary packages (workload.MustUniform documents its panic).
+package outofscope
+
+// MustPositive panics on bad input: allowed, workload is not a boundary
+// package.
+func MustPositive(n int) int {
+	if n <= 0 {
+		panic("not positive")
+	}
+	return n
+}

@@ -1,0 +1,14 @@
+// pkgpath: elastichpc/cmd/fakecli
+
+// Package cli exercises nomapiter's CLI scope: main packages print, so map
+// order leaks into output there too.
+package cli
+
+import "fmt"
+
+// printAll emits one line per entry in map order: flagged.
+func printAll(m map[string]float64) {
+	for k, v := range m { // want "iteration order is nondeterministic"
+		fmt.Printf("%s=%g\n", k, v)
+	}
+}

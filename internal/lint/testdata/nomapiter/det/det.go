@@ -1,0 +1,70 @@
+// pkgpath: elastichpc/internal/core
+
+// Package det exercises nomapiter inside a deterministic package: bare map
+// ranges are flagged; the collect-then-sort idiom (plain and filtered),
+// annotated sites, and slice ranges are not.
+package det
+
+import "sort"
+
+// Bare ranges over maps leak iteration order.
+func bare(m map[string]int) int {
+	n := 0
+	for k := range m { // want "iteration order is nondeterministic"
+		n += len(k)
+	}
+	for _, v := range m { // want "range over map m"
+		n += v
+	}
+	return n
+}
+
+// sortedKeys is the blessed idiom: collect, then sort immediately.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// filteredKeys is the idiom with a single filtering if.
+func filteredKeys(m map[string]int, skip string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		if k != skip {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectNoSort collects keys but never sorts them: still flagged.
+func collectNoSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "nomapiter"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// annotated documents why its fold is order-insensitive.
+func annotated(m map[string]int) int {
+	n := 0
+	//lint:deterministic summing ints is commutative
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// slices ranges are always fine.
+func slices(s []int) int {
+	n := 0
+	for _, v := range s {
+		n += v
+	}
+	return n
+}

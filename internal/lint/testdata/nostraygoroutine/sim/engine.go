@@ -1,0 +1,24 @@
+package sim
+
+// stray launches concurrency outside the blessed sites: both the goroutine
+// and the channel are flagged.
+func stray(fns []func()) {
+	results := make(chan int, len(fns)) // want "channel creation outside the blessed concurrency sites"
+	for i, f := range fns {
+		go func(i int, f func()) { // want "go statement outside the blessed concurrency sites"
+			f()
+			results <- i
+		}(i, f)
+	}
+}
+
+// annotated documents a justified exception (e.g. a debug-only watchdog).
+func annotated(f func()) {
+	//lint:deterministic fire-and-forget logging helper, touches no simulation state
+	go f()
+}
+
+// mapsAndSlices shows non-channel makes stay quiet.
+func mapsAndSlices() (map[string]int, []int) {
+	return make(map[string]int), make([]int, 4)
+}

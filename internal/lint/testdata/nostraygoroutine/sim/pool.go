@@ -1,0 +1,24 @@
+// pkgpath: elastichpc/internal/sim
+
+// Package sim exercises nostraygoroutine: pool.go is a blessed concurrency
+// site, engine.go (same package) is not.
+package sim
+
+import "sync"
+
+// RunFake mirrors the worker-pool shape: goroutines and channels are
+// allowed here because this file is a blessed site.
+func RunFake(n int, task func(int)) {
+	done := make(chan struct{}, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			task(i)
+			done <- struct{}{}
+		}(i)
+	}
+	wg.Wait()
+	close(done)
+}

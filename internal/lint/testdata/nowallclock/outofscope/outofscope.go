@@ -1,0 +1,14 @@
+// pkgpath: elastichpc/internal/cluster
+
+// Package outofscope shows the emulation layer may read real time: cluster
+// drives actual loop timers and is not under the simulated-clock contract.
+package outofscope
+
+import "time"
+
+// elapsed times a real operation.
+func elapsed(f func()) time.Duration {
+	t0 := time.Now()
+	f()
+	return time.Since(t0)
+}

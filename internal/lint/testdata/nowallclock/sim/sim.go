@@ -1,0 +1,40 @@
+// pkgpath: elastichpc/internal/sim
+
+// Package sim exercises nowallclock: wall-clock reads and global-source
+// randomness are flagged in deterministic packages; explicit seeded
+// generators and constant time constructors are not.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp reads the wall clock three ways: all flagged.
+func stamp() time.Duration {
+	t0 := time.Now()             // want "reads the wall clock"
+	time.Sleep(time.Microsecond) // want "time.Sleep"
+	return time.Since(t0)        // want "time.Since"
+}
+
+// constants are fine: no real time is read.
+func constants() time.Time {
+	return time.Unix(42, 0).Add(3 * time.Second)
+}
+
+// globalRand draws from the shared source: flagged.
+func globalRand() int {
+	return rand.Intn(10) // want "draws from the global source"
+}
+
+// seeded threads an explicit generator: the blessed pattern.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// annotated documents a justified exception.
+func annotated() time.Time {
+	//lint:deterministic profiling label only, never enters a decision path
+	return time.Now()
+}

@@ -1,0 +1,25 @@
+package core
+
+// Scheduler mirrors the real scheduler's embedded ring.
+type Scheduler struct {
+	log  logRing
+	free int
+}
+
+// sidestep fabricates and injects decisions around the log.go paths: every
+// touch is flagged.
+func (s *Scheduler) sidestep(id string) {
+	d := Decision{JobID: id} // want "constructed outside log.go"
+	s.log.add(d)             // want "logRing.add called outside log.go"
+	s.log.head = 0           // want "write to the decision ring"
+}
+
+// replace swaps the whole ring out: flagged as a Scheduler.log write.
+func (s *Scheduler) replace(r logRing) {
+	s.log = r // want "Scheduler.log"
+}
+
+// read-only access is fine.
+func (s *Scheduler) depth() int {
+	return s.log.n + s.free
+}

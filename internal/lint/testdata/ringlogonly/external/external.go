@@ -1,0 +1,17 @@
+// pkgpath: elastichpc/internal/sim
+
+// Package external exercises ringlogonly from another deterministic
+// package: reading decisions from core is fine, fabricating them is not.
+package external
+
+import "elastichpc/internal/core"
+
+// forge fabricates a decision record outside core: flagged.
+func forge(id string) core.Decision {
+	return core.Decision{JobID: id, Kind: core.DecisionStart} // want "constructed outside log.go"
+}
+
+// merge goes through core's own API: allowed.
+func merge(a, b []core.Decision) []core.Decision {
+	return core.MergeLogs(a, b)
+}

@@ -1,0 +1,8 @@
+package sim
+
+// seal folds subs into totals: merge.go may write both field sets.
+func (s *Simulator) seal() {
+	s.utilArea += s.utilSub
+	s.wSum += s.finWSub
+	s.utilSub, s.finWSub = 0, 0
+}

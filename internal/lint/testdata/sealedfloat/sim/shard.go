@@ -1,0 +1,16 @@
+package sim
+
+// reconcile is the bug class the analyzer exists for: a shard-path partial
+// sum regroups the float fold and diverges from sequential by an ULP.
+func (s *Simulator) reconcile(other *Simulator) {
+	s.utilArea += other.utilArea // want "writes are allowed only in merge.go"
+	s.utilSub += other.utilSub   // want "merge.go, sim.go"
+	s.wSum++                     // want "order-sensitive accumulator"
+	s.jobs += other.jobs         // ints merge exactly: not flagged
+}
+
+// reset shows plain stores are fenced too: a reset outside the seal files
+// desynchronizes the seal positions.
+func (s *Simulator) reset() {
+	s.utilSub = 0 // want "seal-fold discipline"
+}

@@ -1,0 +1,27 @@
+// pkgpath: elastichpc/internal/sim
+
+// Package sim exercises sealedfloat with a fixture Simulator carrying the
+// real accumulator field names: sub-accumulators may be fed from sim.go,
+// run totals only from merge.go, and shard.go may touch neither.
+package sim
+
+// Simulator mirrors the accumulator layout the spec table pins.
+type Simulator struct {
+	utilArea float64
+	wSum     float64
+	utilSub  float64
+	finWSub  float64
+	jobs     int
+}
+
+// advance feeds the open sub-accumulators in event order: allowed here.
+func (s *Simulator) advance(d float64) {
+	s.utilSub += d
+	s.finWSub += d
+	s.jobs++
+}
+
+// badTotalFold writes a run total outside merge.go: flagged even in sim.go.
+func (s *Simulator) badTotalFold(d float64) {
+	s.utilArea += d // want "order-sensitive accumulator"
+}
